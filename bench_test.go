@@ -1,0 +1,188 @@
+package tokentm
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation section as testing.B benchmarks (use -bench with -benchtime=1x
+// for one full regeneration pass, or cmd/experiments for the formatted
+// tables). Reported custom metrics carry the experiment's headline numbers
+// into the benchmark output.
+
+import (
+	"fmt"
+	"testing"
+
+	"tokentm/internal/workload"
+)
+
+// benchScale keeps the in-benchmark experiment runs quick; cmd/experiments
+// regenerates publication-scale numbers.
+const benchScale = 0.01
+
+// BenchmarkTable1 regenerates the long-running-critical-section analysis of
+// the four lock-based server workloads.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table1(int64(i + 1))
+		if len(rows) != 4 {
+			b.Fatal("table 1 rows")
+		}
+		if i == 0 {
+			b.ReportMetric(rows[1].AvgMs, "Apache-avg-ms")
+			b.ReportMetric(rows[3].PctTime, "BIND-pct")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the false-positive study: STAMP workloads on
+// the LogTM-SE signature variants.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Figure1(benchScale, []int64{int64(i + 1)})
+		for _, r := range rows {
+			if r.Workload == "Delaunay" && i == 0 {
+				b.ReportMetric(r.Speedup[VariantLogTMSE2xH3], "Delaunay-2xH3-speedup")
+				b.ReportMetric(r.Speedup[VariantLogTMSE4xH3], "Delaunay-4xH3-speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the headline comparison: all eight workloads
+// on all five HTM variants.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Figure5(benchScale, []int64{int64(i + 1)})
+		if len(rows) != 8 {
+			b.Fatal("figure 5 rows")
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Workload == "Delaunay" {
+					b.ReportMetric(r.Speedup[VariantTokenTM], "Delaunay-TokenTM-speedup")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the measured workload parameters.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table5(benchScale, int64(i+1))
+		if len(rows) != 8 {
+			b.Fatal("table 5 rows")
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates TokenTM's overhead breakdown.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table6(benchScale, int64(i+1))
+		if i == 0 {
+			for _, r := range rows {
+				if r.Benchmark == "Genome" {
+					b.ReportMetric(r.FastPct, "Genome-fast-pct")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkWorkloadVariant measures simulator throughput per workload and
+// variant (simulated transactions per wall-clock second appear as the
+// xacts/op metric; one op = one scaled run).
+func BenchmarkWorkloadVariant(b *testing.B) {
+	for _, wl := range []string{"Cholesky", "Delaunay"} {
+		spec, _ := workload.ByName(wl)
+		for _, v := range []Variant{VariantTokenTM, VariantLogTMSE4xH3} {
+			b.Run(fmt.Sprintf("%s/%s", wl, v), func(b *testing.B) {
+				var xacts int
+				for i := 0; i < b.N; i++ {
+					d := RunWorkload(spec, v, benchScale, int64(i+1))
+					xacts = len(d.Commits)
+				}
+				b.ReportMetric(float64(xacts), "xacts/op")
+			})
+		}
+	}
+}
+
+// --- Ablation benchmarks: the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationFastRelease isolates §4.4's mechanism by running the
+// same workload with and without fast token release.
+func BenchmarkAblationFastRelease(b *testing.B) {
+	spec, _ := workload.ByName("Raytrace")
+	for _, v := range []Variant{VariantTokenTM, VariantTokenTMNoFast} {
+		b.Run(string(v), func(b *testing.B) {
+			var cycles Cycle
+			for i := 0; i < b.N; i++ {
+				d := RunWorkload(spec, v, benchScale, int64(i+1))
+				cycles = d.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationRetryLimit sweeps the contention manager's livelock
+// backstop on a contended workload.
+func BenchmarkAblationRetryLimit(b *testing.B) {
+	spec, _ := workload.ByName("Vacation-High")
+	for _, limit := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
+			var cycles Cycle
+			var aborts uint64
+			for i := 0; i < b.N; i++ {
+				sys := New(Config{Variant: VariantTokenTM, Cores: 32, Seed: int64(i + 1), RetryLimit: limit})
+				spec.Build(sys.M, 32, benchScale, int64(i+1))
+				cycles = sys.Run()
+				aborts = sys.HTM.Stats().Aborts
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(aborts), "aborts")
+		})
+	}
+}
+
+// BenchmarkAblationSignatureKind sweeps signature precision on the workload
+// most sensitive to it.
+func BenchmarkAblationSignatureKind(b *testing.B) {
+	spec, _ := workload.ByName("Delaunay")
+	for _, v := range []Variant{VariantLogTMSEPerf, VariantLogTMSE4xH3, VariantLogTMSE2xH3} {
+		b.Run(string(v), func(b *testing.B) {
+			var cycles Cycle
+			var falseConf uint64
+			for i := 0; i < b.N; i++ {
+				d := RunWorkload(spec, v, benchScale, int64(i+1))
+				cycles = d.Cycles
+				falseConf = d.Metrics.FalseConflicts
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(falseConf), "false-conflicts")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: wall-clock
+// time per simulated run of 16k transactional accesses on one core.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const accessesPerRun = 16384
+	for i := 0; i < b.N; i++ {
+		sys := New(Config{Variant: VariantTokenTM, Cores: 1})
+		sys.Spawn(func(tc *Ctx) {
+			done := 0
+			for done < accessesPerRun {
+				tc.Atomic(func(tx *Tx) {
+					for j := 0; j < 16; j++ {
+						a := Addr(0x100000 + (done%4096)*BlockBytes)
+						tx.Store(a, tx.Load(a)+1)
+						done++
+					}
+				})
+			}
+		})
+		sys.Run()
+	}
+	b.ReportMetric(accessesPerRun, "accesses/op")
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments -run all            # everything (slow at full scale)
+//	experiments -run fig5 -scale 0.05 -seeds 3
+//	experiments -run table1,table6
+//
+// Scale shrinks the Table 5 transaction counts proportionally; the paper's
+// full counts correspond to -scale 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tokentm"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated: table1,table2,table3,table4,table5,table6,fig1,fig5,all")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's per-workload transaction counts")
+	seeds := flag.Int("seeds", 3, "number of perturbed runs (error bars) for fig1/fig5")
+	chart := flag.Bool("chart", false, "render fig1/fig5 as ASCII bar charts in addition to tables")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+
+	section := func(title string) func() {
+		fmt.Fprintf(out, "==== %s ====\n", title)
+		t0 := time.Now()
+		return func() { fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(t0).Seconds()) }
+	}
+
+	if all || want["table1"] {
+		done := section("Table 1: Long-running Critical Sections (LCS)")
+		tokentm.WriteTable1(out, tokentm.Table1(*seed))
+		done()
+	}
+	if all || want["table2"] {
+		done := section("Table 2: Common Metastate Transitions")
+		tokentm.WriteTable2(out)
+		done()
+	}
+	if all || want["table3"] {
+		done := section("Table 3: Metastate Fission and Fusion")
+		tokentm.WriteTable3(out)
+		done()
+	}
+	if all || want["table4"] {
+		done := section("Table 4: Metabit Encodings")
+		tokentm.WriteTable4(out)
+		done()
+	}
+	if all || want["table5"] {
+		done := section(fmt.Sprintf("Table 5: Workload Parameters (measured, scale=%.3g)", *scale))
+		tokentm.WriteTable5(out, tokentm.Table5(*scale, *seed))
+		done()
+	}
+	if all || want["fig1"] {
+		done := section(fmt.Sprintf("Figure 1: Effect of False Positives (speedup vs LogTM-SE_Perf, scale=%.3g, %d seeds)", *scale, *seeds))
+		rows := tokentm.Figure1(*scale, seedList)
+		vs := []tokentm.Variant{tokentm.VariantLogTMSEPerf, tokentm.VariantLogTMSE2xH3, tokentm.VariantLogTMSE4xH3}
+		tokentm.WriteSpeedups(out, rows, vs)
+		if *chart {
+			fmt.Fprintln(out)
+			tokentm.WriteSpeedupChart(out, "Figure 1. Effect of False Positives", rows, vs)
+		}
+		done()
+	}
+	if all || want["fig5"] {
+		done := section(fmt.Sprintf("Figure 5: TokenTM Performance (speedup vs LogTM-SE_Perf, scale=%.3g, %d seeds)", *scale, *seeds))
+		rows := tokentm.Figure5(*scale, seedList)
+		tokentm.WriteSpeedups(out, rows, tokentm.Variants())
+		if *chart {
+			fmt.Fprintln(out)
+			tokentm.WriteSpeedupChart(out, "Figure 5. TokenTM Performance", rows, tokentm.Variants())
+		}
+		done()
+	}
+	if all || want["table6"] {
+		done := section(fmt.Sprintf("Table 6: TokenTM Specific Overheads (scale=%.3g)", *scale))
+		tokentm.WriteTable6(out, tokentm.Table6(*scale, *seed))
+		done()
+	}
+}

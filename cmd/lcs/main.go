@@ -1,0 +1,16 @@
+// Command lcs runs the DTrace-like long-running-critical-section analysis
+// of the four lock-based server models and prints the paper's Table 1.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"tokentm"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	tokentm.WriteTable1(os.Stdout, tokentm.Table1(*seed))
+}

@@ -1,0 +1,109 @@
+// Command tokentm-sim runs one workload on one HTM variant and prints a
+// detailed report: cycles, transaction statistics, conflict breakdown,
+// memory-system counters and (for TokenTM) commit kinds.
+//
+// Usage:
+//
+//	tokentm-sim -workload Delaunay -variant TokenTM -scale 0.05 -seed 1
+//	tokentm-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"tokentm"
+	"tokentm/internal/stats"
+	"tokentm/internal/trace"
+	"tokentm/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "Genome", "workload name (see -list)")
+	variant := flag.String("variant", "TokenTM", "HTM variant: TokenTM, TokenTM_NoFast, LogTM-SE_Perf, LogTM-SE_2xH3, LogTM-SE_4xH3")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's transaction count")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list workloads and exit")
+	traceN := flag.Int("trace", 0, "dump the last N HTM events after the run")
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Workload\tSuite\tInput\tXacts\tAvg RS\tAvg WS\tMax RS\tMax WS")
+		for _, s := range workload.Specs() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.1f\t%.1f\t%d\t%d\n",
+				s.Name, s.Suite, s.Input, s.NumXacts, s.AvgRead, s.AvgWrite, s.MaxRead, s.MaxWrite)
+		}
+		tw.Flush()
+		return
+	}
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+
+	var d tokentm.RunDetail
+	var tr *trace.Tracer
+	if *traceN > 0 {
+		tr = trace.NewTracer(*traceN)
+		sys := tokentm.New(tokentm.Config{Variant: tokentm.Variant(*variant), Cores: 32, Seed: *seed})
+		sys.M.SetHTM(trace.Wrap(sys.HTM, tr))
+		spec.Build(sys.M, 32, *scale, *seed)
+		cycles := sys.Run()
+		d = tokentm.RunDetail{
+			Workload: spec.Name,
+			Variant:  tokentm.Variant(*variant),
+			Cycles:   cycles,
+			Commits:  sys.M.Commits,
+			Metrics:  *sys.HTM.Stats(),
+		}
+		if tok := sys.TokenTM(); tok != nil {
+			d.FastCommits = tok.FastCommits
+			d.SlowCommits = tok.SlowCommits
+		}
+	} else {
+		d = tokentm.RunWorkload(spec, tokentm.Variant(*variant), *scale, *seed)
+	}
+
+	fmt.Printf("workload=%s variant=%s scale=%g seed=%d\n", d.Workload, d.Variant, *scale, *seed)
+	fmt.Printf("execution: %d cycles, %d committed transactions\n\n", d.Cycles, len(d.Commits))
+
+	var rs, ws, dur stats.Sample
+	var logStall, release float64
+	fast := 0
+	for _, c := range d.Commits {
+		rs.Add(float64(c.ReadBlocks))
+		ws.Add(float64(c.WriteBlocks))
+		dur.Add(float64(c.Duration))
+		logStall += float64(c.LogStall)
+		release += float64(c.ReleaseCycles)
+		if c.Fast {
+			fast++
+		}
+	}
+	fmt.Printf("read set:  avg %.1f max %.0f blocks\n", rs.Mean(), rs.Max())
+	fmt.Printf("write set: avg %.1f max %.0f blocks\n", ws.Mean(), ws.Max())
+	fmt.Printf("duration:  avg %.0f max %.0f cycles\n\n", dur.Mean(), dur.Max())
+
+	m := d.Metrics
+	fmt.Printf("conflicts=%d (read-vs-writer %d, write-vs-readers %d, write-vs-writer %d, non-transactional %d)\n",
+		m.Conflicts, m.ReadVsWriter, m.WriteVsReaders, m.WriteVsWriter, m.NonXactConf)
+	fmt.Printf("stalls=%d aborts=%d false-positive conflicts=%d hard-case log walks=%d\n",
+		m.Stalls, m.Aborts, m.FalseConflicts, m.HardCaseLookups)
+
+	if d.FastCommits+d.SlowCommits > 0 {
+		fmt.Printf("\nTokenTM: fast token release commits=%d software release commits=%d (%.1f%% fast)\n",
+			d.FastCommits, d.SlowCommits,
+			100*float64(d.FastCommits)/float64(d.FastCommits+d.SlowCommits))
+		fmt.Printf("total software release time=%.0f cycles, total log stall=%.0f cycles\n", release, logStall)
+	}
+
+	if tr != nil {
+		fmt.Printf("\n--- last %d of %d HTM events ---\n", tr.Len(), tr.Total())
+		tr.Dump(os.Stdout)
+	}
+}

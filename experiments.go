@@ -1,0 +1,301 @@
+package tokentm
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tokentm/internal/htm"
+	"tokentm/internal/lcs"
+	"tokentm/internal/plot"
+	"tokentm/internal/stats"
+	"tokentm/internal/workload"
+)
+
+// Threads used by the TM experiments: one per core, 32 cores (§6.1).
+const evalCores = 32
+
+// RunDetail is the outcome of one workload run on one variant.
+type RunDetail struct {
+	Workload string
+	Variant  Variant
+	Cycles   Cycle
+	Commits  []htm.CommitRecord
+	Metrics  htm.Metrics
+	// FastCommits/SlowCommits are TokenTM-specific (0 for LogTM-SE).
+	FastCommits, SlowCommits uint64
+}
+
+// RunWorkload executes spec on a fresh 32-core machine with the given
+// variant. scale shrinks transaction counts for quick runs; seed perturbs
+// backoffs and generators.
+func RunWorkload(spec workload.Spec, v Variant, scale float64, seed int64) RunDetail {
+	sys := New(Config{Variant: v, Cores: evalCores, Seed: seed})
+	spec.Build(sys.M, evalCores, scale, seed)
+	cycles := sys.Run()
+	d := RunDetail{
+		Workload: spec.Name,
+		Variant:  v,
+		Cycles:   cycles,
+		Commits:  sys.M.Commits,
+		Metrics:  *sys.HTM.Stats(),
+	}
+	if tok := sys.TokenTM(); tok != nil {
+		d.FastCommits = tok.FastCommits
+		d.SlowCommits = tok.SlowCommits
+	}
+	return d
+}
+
+// SpeedupRow is one workload's bars in Figure 1 or Figure 5: speedup of
+// each variant normalized to LogTM-SE_Perf, with 95% confidence half-widths
+// from the perturbed runs.
+type SpeedupRow struct {
+	Workload string
+	Speedup  map[Variant]float64
+	CI       map[Variant]float64
+}
+
+// speedups runs the given workloads on the given variants over several
+// perturbation seeds and normalizes to LogTM-SE_Perf.
+func speedups(specs []workload.Spec, variants []Variant, scale float64, seeds []int64) []SpeedupRow {
+	var rows []SpeedupRow
+	for _, spec := range specs {
+		samples := make(map[Variant]*stats.Sample)
+		all := append([]Variant{VariantLogTMSEPerf}, variants...)
+		for _, v := range all {
+			if _, ok := samples[v]; ok {
+				continue
+			}
+			s := &stats.Sample{}
+			for _, seed := range seeds {
+				d := RunWorkload(spec, v, scale, seed)
+				s.Add(float64(d.Cycles))
+			}
+			samples[v] = s
+		}
+		perf := samples[VariantLogTMSEPerf].Mean()
+		row := SpeedupRow{
+			Workload: spec.Name,
+			Speedup:  make(map[Variant]float64),
+			CI:       make(map[Variant]float64),
+		}
+		for v, s := range samples {
+			row.Speedup[v] = perf / s.Mean()
+			// First-order error propagation for the ratio.
+			if s.Mean() > 0 {
+				row.CI[v] = perf / s.Mean() * s.CI95() / s.Mean()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Figure1 reproduces the paper's Figure 1: the effect of signature false
+// positives. The four STAMP workloads run on LogTM-SE with 2xH3 and 4xH3
+// Bloom signatures, normalized to unimplementable perfect signatures.
+func Figure1(scale float64, seeds []int64) []SpeedupRow {
+	var specs []workload.Spec
+	for _, s := range workload.Specs() {
+		if s.Suite == "STAMP" {
+			specs = append(specs, s)
+		}
+	}
+	return speedups(specs, []Variant{VariantLogTMSE2xH3, VariantLogTMSE4xH3}, scale, seeds)
+}
+
+// Figure5 reproduces the paper's Figure 5: all eight workloads on all five
+// HTM variants, speedup normalized to LogTM-SE_Perf.
+func Figure5(scale float64, seeds []int64) []SpeedupRow {
+	return speedups(workload.Specs(), Variants(), scale, seeds)
+}
+
+// Table5Row is one row of the regenerated Table 5 (measured workload
+// parameters, validating the generators' calibration).
+type Table5Row struct {
+	Benchmark string
+	Input     string
+	NumXacts  int
+	AvgRead   float64
+	AvgWrite  float64
+	MaxRead   int
+	MaxWrite  int
+}
+
+// Table5 measures the dynamic transaction characteristics of each workload
+// (running on TokenTM, as footprints are variant-independent).
+func Table5(scale float64, seed int64) []Table5Row {
+	var rows []Table5Row
+	for _, spec := range workload.Specs() {
+		d := RunWorkload(spec, VariantTokenTM, scale, seed)
+		row := Table5Row{Benchmark: spec.Name, Input: spec.Input, NumXacts: len(d.Commits)}
+		for _, c := range d.Commits {
+			row.AvgRead += float64(c.ReadBlocks)
+			row.AvgWrite += float64(c.WriteBlocks)
+			if c.ReadBlocks > row.MaxRead {
+				row.MaxRead = c.ReadBlocks
+			}
+			if c.WriteBlocks > row.MaxWrite {
+				row.MaxWrite = c.WriteBlocks
+			}
+		}
+		if n := float64(len(d.Commits)); n > 0 {
+			row.AvgRead /= n
+			row.AvgWrite /= n
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table6Row is one row of the regenerated Table 6: TokenTM-specific
+// overheads.
+type Table6Row struct {
+	Benchmark string
+	// FastPct is the percentage of transactions committing via fast
+	// token release.
+	FastPct float64
+	// Fast-release transaction characteristics.
+	FastAvgRead, FastAvgWrite float64
+	FastAvgDuration           float64
+	// Software-release transaction characteristics.
+	SwAvgRead, SwAvgWrite float64
+	SwAvgDuration         float64
+	// SwReleaseCycles is the average software token-release time.
+	SwReleaseCycles float64
+	// LogStallPct is log-write stall time as % of total execution time.
+	LogStallPct float64
+	// HardCaseLookups counts §5.2's log-walk conflict resolutions.
+	HardCaseLookups uint64
+}
+
+// Table6 measures TokenTM's overheads on every workload.
+func Table6(scale float64, seed int64) []Table6Row {
+	var rows []Table6Row
+	for _, spec := range workload.Specs() {
+		d := RunWorkload(spec, VariantTokenTM, scale, seed)
+		row := Table6Row{Benchmark: spec.Name, HardCaseLookups: d.Metrics.HardCaseLookups}
+		var nFast, nSw float64
+		var logStall float64
+		for _, c := range d.Commits {
+			logStall += float64(c.LogStall)
+			if c.Fast {
+				nFast++
+				row.FastAvgRead += float64(c.ReadBlocks)
+				row.FastAvgWrite += float64(c.WriteBlocks)
+				row.FastAvgDuration += float64(c.Duration)
+			} else {
+				nSw++
+				row.SwAvgRead += float64(c.ReadBlocks)
+				row.SwAvgWrite += float64(c.WriteBlocks)
+				row.SwAvgDuration += float64(c.Duration)
+				row.SwReleaseCycles += float64(c.ReleaseCycles)
+			}
+		}
+		if nFast > 0 {
+			row.FastAvgRead /= nFast
+			row.FastAvgWrite /= nFast
+			row.FastAvgDuration /= nFast
+		}
+		if nSw > 0 {
+			row.SwAvgRead /= nSw
+			row.SwAvgWrite /= nSw
+			row.SwAvgDuration /= nSw
+			row.SwReleaseCycles /= nSw
+		}
+		if nFast+nSw > 0 {
+			row.FastPct = 100 * nFast / (nFast + nSw)
+		}
+		if d.Cycles > 0 {
+			row.LogStallPct = 100 * logStall / (float64(d.Cycles) * evalCores)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table1 reproduces the paper's Table 1 via the lock-based server models.
+func Table1(seed int64) []lcs.Report { return lcs.Table1(seed) }
+
+// --- Text renderers (the harness "prints the same rows the paper reports").
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []lcs.Report) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tAvg LCS\tMax LCS\t% of Total Exec Time\tLCS Events")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.1f ms\t%.2f\t%d\n", r.Name, r.AvgMs, r.MaxMs, r.PctTime, r.Events)
+	}
+	tw.Flush()
+}
+
+// WriteSpeedups renders a Figure 1/5-style table of speedups normalized to
+// LogTM-SE_Perf.
+func WriteSpeedups(w io.Writer, rows []SpeedupRow, variants []Variant) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, v := range variants {
+		fmt.Fprintf(tw, "\t%s", v)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprint(tw, r.Workload)
+		for _, v := range variants {
+			if ci := r.CI[v]; ci > 0.0005 {
+				fmt.Fprintf(tw, "\t%.3f±%.3f", r.Speedup[v], ci)
+			} else {
+				fmt.Fprintf(tw, "\t%.3f", r.Speedup[v])
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WriteSpeedupChart renders a Figure 1/5-style grouped bar chart with 95%
+// confidence whiskers and a guide at the LogTM-SE_Perf baseline.
+func WriteSpeedupChart(w io.Writer, title string, rows []SpeedupRow, variants []Variant) {
+	c := plot.BarChart{
+		Title:     title,
+		YLabel:    "speedup normalized to LogTM-SE_Perf",
+		Width:     44,
+		Reference: 1.0,
+	}
+	for _, v := range variants {
+		c.Series = append(c.Series, plot.Series{Name: string(v)})
+	}
+	for _, r := range rows {
+		c.Groups = append(c.Groups, r.Workload)
+		var bars []plot.Bar
+		for _, v := range variants {
+			bars = append(bars, plot.Bar{Value: r.Speedup[v], CI: r.CI[v]})
+		}
+		c.Bars = append(c.Bars, bars)
+	}
+	c.Render(w)
+}
+
+// WriteTable5 renders the measured workload parameters.
+func WriteTable5(w io.Writer, rows []Table5Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tInput\tNum Xacts\tAvg Read-Set\tAvg Write-Set\tMax Read-Set\tMax Write-Set")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%d\t%d\n",
+			r.Benchmark, r.Input, r.NumXacts, r.AvgRead, r.AvgWrite, r.MaxRead, r.MaxWrite)
+	}
+	tw.Flush()
+}
+
+// WriteTable6 renders TokenTM's overheads.
+func WriteTable6(w io.Writer, rows []Table6Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\t% Fast Xacts\tFast RS\tFast WS\tFast Dur\tSw RS\tSw WS\tSw Dur\tSw Release\tLog Stall %")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.0f\t%.1f\t%.1f\t%.0f\t%.0f\t%.2f\n",
+			r.Benchmark, r.FastPct,
+			r.FastAvgRead, r.FastAvgWrite, r.FastAvgDuration,
+			r.SwAvgRead, r.SwAvgWrite, r.SwAvgDuration, r.SwReleaseCycles, r.LogStallPct)
+	}
+	tw.Flush()
+}

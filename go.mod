@@ -1,0 +1,3 @@
+module tokentm
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package cache models the set-associative caches of the simulated CMP:
+// per-core private 32 KB 4-way L1s whose lines carry TokenTM's sparse
+// metabits (with flash-clear and flash-OR circuits, §4.4), and the shared
+// 8 MB 8-way 32-bank L2 (§6.1).
+package cache
+
+import (
+	"fmt"
+
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+)
+
+// CohState is a line's MESI coherence state.
+type CohState uint8
+
+// MESI states.
+const (
+	Invalid CohState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the single-letter MESI name.
+func (s CohState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// CanRead reports whether the state grants read permission.
+func (s CohState) CanRead() bool { return s != Invalid }
+
+// CanWrite reports whether the state grants write permission.
+func (s CohState) CanWrite() bool { return s == Exclusive || s == Modified }
+
+// Line is one cache line: tag, coherence state, and (in L1s) the TokenTM
+// metabits that travel with the block.
+type Line struct {
+	Block mem.BlockAddr
+	State CohState
+	Meta  metastate.L1Meta
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache. It tracks residency, replacement and
+// per-line metabits; data values live in the simulator's global store.
+type Cache struct {
+	name    string
+	sets    [][]Line
+	setMask uint64
+	tick    uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+}
+
+// L1Config is the paper's private L1: 32 KB, 4-way, 64 B blocks.
+var L1Config = Config{Name: "L1", SizeBytes: 32 << 10, Assoc: 4}
+
+// L2BankConfig is one of the 32 L2 banks: 8 MB total, 8-way.
+var L2BankConfig = Config{Name: "L2bank", SizeBytes: (8 << 20) / 32, Assoc: 8}
+
+// New builds a cache from a configuration.
+func New(cfg Config) *Cache {
+	nlines := cfg.SizeBytes / mem.BlockBytes
+	nsets := nlines / cfg.Assoc
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d must be a power of two", cfg.Name, nsets))
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nlines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{name: cfg.Name, sets: sets, setMask: uint64(nsets - 1)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return len(c.sets[0]) }
+
+func (c *Cache) set(b mem.BlockAddr) []Line {
+	return c.sets[uint64(b)&c.setMask]
+}
+
+// Lookup returns the line holding block b, or nil. It refreshes LRU state.
+func (c *Cache) Lookup(b mem.BlockAddr) *Line {
+	s := c.set(b)
+	for i := range s {
+		if s[i].State != Invalid && s[i].Block == b {
+			c.tick++
+			s[i].used = c.tick
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the line holding block b without touching LRU state.
+func (c *Cache) Peek(b mem.BlockAddr) *Line {
+	s := c.set(b)
+	for i := range s {
+		if s[i].State != Invalid && s[i].Block == b {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Insert places block b with the given state, returning the victim line's
+// previous contents if a valid line had to be evicted. The caller must have
+// ensured b is not already present.
+func (c *Cache) Insert(b mem.BlockAddr, state CohState) (victim Line, evicted bool) {
+	s := c.set(b)
+	c.tick++
+	// Prefer an invalid way.
+	vi := 0
+	for i := range s {
+		if s[i].State == Invalid {
+			s[i] = Line{Block: b, State: state, used: c.tick}
+			return Line{}, false
+		}
+		if s[i].used < s[vi].used {
+			vi = i
+		}
+	}
+	victim = s[vi]
+	s[vi] = Line{Block: b, State: state, used: c.tick}
+	return victim, true
+}
+
+// Invalidate removes block b, returning its prior contents.
+func (c *Cache) Invalidate(b mem.BlockAddr) (old Line, ok bool) {
+	if l := c.Peek(b); l != nil {
+		old = *l
+		l.State = Invalid
+		l.Meta = metastate.L1Zero
+		return old, true
+	}
+	return Line{}, false
+}
+
+// FlashClearRW applies the fast-token-release flash clear to every line: a
+// constant-time hardware operation over the R and W metabit columns.
+func (c *Cache) FlashClearRW() {
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].State != Invalid {
+				s[i].Meta.FlashClearRW()
+			}
+		}
+	}
+}
+
+// FlashOR applies the context-switch flash-OR (R'|=R, W'|=W, clear R and W)
+// to every line: the paper's two flash-OR circuits per cache block.
+func (c *Cache) FlashOR() {
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].State != Invalid {
+				s[i].Meta.FlashOR()
+			}
+		}
+	}
+}
+
+// VisitValid calls fn for every valid line.
+func (c *Cache) VisitValid(fn func(*Line)) {
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].State != Invalid {
+				fn(&s[i])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	c.VisitValid(func(*Line) { n++ })
+	return n
+}

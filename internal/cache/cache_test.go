@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"testing"
+
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+)
+
+func TestGeometry(t *testing.T) {
+	l1 := New(L1Config)
+	if l1.Sets() != 128 || l1.Assoc() != 4 {
+		t.Fatalf("L1 geometry: %d sets x %d ways", l1.Sets(), l1.Assoc())
+	}
+	l2 := New(L2BankConfig)
+	if l2.Sets()*l2.Assoc()*mem.BlockBytes != (8<<20)/32 {
+		t.Fatalf("L2 bank capacity wrong")
+	}
+}
+
+func TestLookupInsertInvalidate(t *testing.T) {
+	c := New(L1Config)
+	if c.Lookup(5) != nil {
+		t.Fatal("empty cache lookup")
+	}
+	if _, ev := c.Insert(5, Shared); ev {
+		t.Fatal("no eviction expected")
+	}
+	l := c.Lookup(5)
+	if l == nil || l.Block != 5 || l.State != Shared {
+		t.Fatalf("lookup after insert: %+v", l)
+	}
+	old, ok := c.Invalidate(5)
+	if !ok || old.Block != 5 {
+		t.Fatal("invalidate")
+	}
+	if c.Lookup(5) != nil {
+		t.Fatal("lookup after invalidate")
+	}
+	if _, ok := c.Invalidate(5); ok {
+		t.Fatal("double invalidate")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(L1Config)
+	sets := mem.BlockAddr(c.Sets())
+	// Fill one set completely: blocks mapping to set 0.
+	for i := 0; i < c.Assoc(); i++ {
+		if _, ev := c.Insert(sets*mem.BlockAddr(i), Shared); ev {
+			t.Fatal("premature eviction")
+		}
+	}
+	// Touch block 0 so it is most recently used.
+	c.Lookup(0)
+	// Insert one more: the LRU victim must be set*1 (oldest untouched).
+	victim, ev := c.Insert(sets*mem.BlockAddr(c.Assoc()), Shared)
+	if !ev {
+		t.Fatal("expected eviction")
+	}
+	if victim.Block != sets {
+		t.Fatalf("victim = %v, want %v", victim.Block, sets)
+	}
+	if c.Lookup(0) == nil {
+		t.Fatal("MRU block evicted")
+	}
+}
+
+func TestFlashOps(t *testing.T) {
+	c := New(L1Config)
+	c.Insert(1, Shared)
+	c.Insert(2, Modified)
+	c.Lookup(1).Meta = metastate.L1Meta{R: true, Attr: 9}
+	c.Lookup(2).Meta = metastate.L1Meta{W: true, Attr: 9}
+
+	c.FlashOR()
+	if !c.Lookup(1).Meta.Rp || c.Lookup(1).Meta.R {
+		t.Fatal("flash-OR on R")
+	}
+	if !c.Lookup(2).Meta.Wp || c.Lookup(2).Meta.W {
+		t.Fatal("flash-OR on W")
+	}
+
+	c.Lookup(1).Meta = metastate.L1Meta{R: true, Attr: 9}
+	c.Lookup(2).Meta = metastate.L1Meta{W: true, Attr: 9}
+	c.FlashClearRW()
+	if c.Lookup(1).Meta.R || c.Lookup(2).Meta.W {
+		t.Fatal("flash clear")
+	}
+}
+
+func TestVisitAndCount(t *testing.T) {
+	c := New(L1Config)
+	for i := 0; i < 10; i++ {
+		c.Insert(mem.BlockAddr(i), Exclusive)
+	}
+	if c.CountValid() != 10 {
+		t.Fatalf("CountValid = %d", c.CountValid())
+	}
+	c.Invalidate(3)
+	if c.CountValid() != 9 {
+		t.Fatalf("CountValid after invalidate = %d", c.CountValid())
+	}
+}
+
+func TestCohStateHelpers(t *testing.T) {
+	if Invalid.CanRead() || Invalid.CanWrite() {
+		t.Error("invalid permissions")
+	}
+	if !Shared.CanRead() || Shared.CanWrite() {
+		t.Error("shared permissions")
+	}
+	if !Exclusive.CanWrite() || !Modified.CanWrite() || !Modified.CanRead() {
+		t.Error("exclusive/modified permissions")
+	}
+	names := map[CohState]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", CohState(9): "?"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("state name %v", s)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 3 * 64, Assoc: 1})
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"tokentm/internal/cache"
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+)
+
+// CheckBookkeeping verifies TokenTM's double-entry bookkeeping invariant
+// (§3.2): for every block, the tokens debited from the (distributed)
+// metastate equal the tokens credited to the active transactions' logs.
+// A writer's (T,X) may legally appear on several copies (fission replicates
+// it); it is counted once.
+//
+// The checker is O(total metastate), intended for tests and debug builds.
+func (t *TokenTM) CheckBookkeeping() error {
+	debits := make(map[mem.BlockAddr]uint32)
+	writers := make(map[mem.BlockAddr]mem.TID)
+
+	addMeta := func(b mem.BlockAddr, m metastate.Meta) error {
+		switch {
+		case m.IsZero():
+		case m.IsWriter():
+			if w, ok := writers[b]; ok && w != m.TID {
+				return fmt.Errorf("block %v: two writers X%d and X%d", b, w, m.TID)
+			}
+			writers[b] = m.TID
+		default:
+			debits[b] += m.Sum
+		}
+		return nil
+	}
+
+	for b, m := range t.home {
+		if err := addMeta(b, m); err != nil {
+			return err
+		}
+	}
+	for c := range t.ms.L1s {
+		var err error
+		t.ms.L1s[c].VisitValid(func(l *cache.Line) {
+			if !l.Meta.Valid() {
+				err = fmt.Errorf("core %d block %v: invalid metabits %v", c, l.Block, l.Meta)
+				return
+			}
+			if e := addMeta(l.Block, l.Meta.Logical()); e != nil && err == nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for b, w := range writers {
+		if debits[b] != 0 {
+			return fmt.Errorf("block %v: writer X%d coexists with %d reader tokens", b, w, debits[b])
+		}
+		debits[b] = metastate.T
+	}
+
+	credits := make(map[mem.BlockAddr]uint32)
+	for _, th := range t.byTID {
+		if !th.InXact() {
+			if th.Log.Len() != 0 {
+				return fmt.Errorf("thread X%d: %d log records with no active transaction", th.TID, th.Log.Len())
+			}
+			continue
+		}
+		perLog := make(map[mem.BlockAddr]uint32)
+		for _, rec := range th.Log.Records() {
+			perLog[rec.Block] += rec.Tokens
+			credits[rec.Block] += rec.Tokens
+		}
+		for b, n := range th.Xact.Tokens {
+			if perLog[b] != n {
+				return fmt.Errorf("thread X%d block %v: token index %d != log credits %d", th.TID, b, n, perLog[b])
+			}
+		}
+		for b, n := range perLog {
+			if th.Xact.Tokens[b] != n {
+				return fmt.Errorf("thread X%d block %v: log credits %d missing from index", th.TID, b, n)
+			}
+		}
+	}
+
+	for b, d := range debits {
+		if credits[b] != d {
+			return fmt.Errorf("block %v: metastate debits %d != log credits %d", b, d, credits[b])
+		}
+	}
+	for b, cr := range credits {
+		if debits[b] != cr {
+			return fmt.Errorf("block %v: log credits %d != metastate debits %d", b, cr, debits[b])
+		}
+	}
+	return nil
+}

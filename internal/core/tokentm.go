@@ -1,0 +1,671 @@
+// Package core implements TokenTM, the paper's primary contribution: an
+// unbounded HTM whose conflict detection counts per-block transactional
+// tokens with double-entry bookkeeping (§3), implemented over an unmodified
+// MESI directory protocol by piggybacking metastate on coherence messages
+// with metastate fission/fusion (§4.2), in-memory metabits (§4.3), and fast
+// token release (§4.4).
+//
+// Token placement invariant maintained by this implementation: a thread's
+// tokens for block b live either (a) in its own core's L1 line for b — as R
+// or W bits, as R'/W' bits after a context switch, or folded into the
+// anonymous R+ count — or (b) in the block's home metastate (after the line
+// was evicted or invalidated, whose acks carry metastate home). Conflict
+// probes fuse the home metastate with every L1 copy's metabits, exactly the
+// fusion the hardware performs with invalidation-ack piggybacks.
+package core
+
+import (
+	"fmt"
+
+	"tokentm/internal/cache"
+	"tokentm/internal/coherence"
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+	"tokentm/internal/tmlog"
+)
+
+// TokenTM is the token-based HTM system. It implements htm.System and
+// coherence.Listener.
+type TokenTM struct {
+	name        string
+	fastRelease bool
+	retryLimit  int
+
+	ms    *coherence.MemSys
+	store *mem.Store
+
+	// home is the metastate at the block's home (memory/L2 in this
+	// model); blocks absent from the map are (0,-).
+	home     map[mem.BlockAddr]metastate.Meta
+	overflow *metastate.OverflowTable
+
+	byTID   map[mem.TID]*htm.Thread
+	running []*htm.Thread // thread currently on each core
+
+	// Metrics aggregates evaluation counters.
+	Metrics htm.Metrics
+	// FastCommits and SlowCommits count commit kinds (Table 6).
+	FastCommits, SlowCommits uint64
+}
+
+var (
+	_ htm.System         = (*TokenTM)(nil)
+	_ coherence.Listener = (*TokenTM)(nil)
+)
+
+// Option configures the TokenTM system.
+type Option func(*TokenTM)
+
+// WithoutFastRelease builds the paper's TokenTM_NoFast variant: every commit
+// releases tokens in software.
+func WithoutFastRelease() Option {
+	return func(t *TokenTM) {
+		t.fastRelease = false
+		t.name = "TokenTM_NoFast"
+	}
+}
+
+// WithRetryLimit sets how many stalled retries a transaction tolerates
+// against an older enemy before aborting itself.
+func WithRetryLimit(n int) Option {
+	return func(t *TokenTM) { t.retryLimit = n }
+}
+
+// New builds a TokenTM system over the given memory system and value store,
+// and attaches itself as the coherence metastate listener.
+func New(ms *coherence.MemSys, store *mem.Store, opts ...Option) *TokenTM {
+	t := &TokenTM{
+		name:        "TokenTM",
+		fastRelease: true,
+		retryLimit:  64,
+		ms:          ms,
+		store:       store,
+		home:        make(map[mem.BlockAddr]metastate.Meta),
+		overflow:    metastate.NewOverflowTable(),
+		byTID:       make(map[mem.TID]*htm.Thread),
+		running:     make([]*htm.Thread, ms.NumCores),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	ms.SetListener(t)
+	return t
+}
+
+// Name returns the variant name.
+func (t *TokenTM) Name() string { return t.name }
+
+// Stats exposes the variant's metrics.
+func (t *TokenTM) Stats() *htm.Metrics { return &t.Metrics }
+
+// Register introduces a thread.
+func (t *TokenTM) Register(th *htm.Thread) { t.byTID[th.TID] = th }
+
+// RunningOn records which thread occupies a core.
+func (t *TokenTM) RunningOn(core int, th *htm.Thread) { t.running[core] = th }
+
+func (t *TokenTM) curTID(core int) mem.TID {
+	if th := t.running[core]; th != nil {
+		return th.TID
+	}
+	return mem.NoTID
+}
+
+// HomeMeta returns the metastate stored at block b's home.
+func (t *TokenTM) HomeMeta(b mem.BlockAddr) metastate.Meta { return t.home[b] }
+
+func (t *TokenTM) setHome(b mem.BlockAddr, m metastate.Meta) {
+	if m.IsZero() {
+		delete(t.home, b)
+		return
+	}
+	t.home[b] = m
+}
+
+func mustFuse(a, b metastate.Meta) metastate.Meta {
+	m, err := metastate.Fuse(a, b)
+	if err != nil {
+		panic(fmt.Sprintf("tokentm: bookkeeping invariant violated: %v", err))
+	}
+	return m
+}
+
+func mustL1(m metastate.Meta, cur mem.TID) metastate.L1Meta {
+	l, err := metastate.L1FromMeta(m, cur)
+	if err != nil {
+		panic(fmt.Sprintf("tokentm: %v", err))
+	}
+	return l
+}
+
+// CopyCreated implements coherence.Listener: metastate arrives with data.
+// Shared fills perform metastate fission at the home copy; exclusive fills
+// (write misses and upgrades) receive home's metastate fused with the
+// invalidation acks, which CopyLost has already folded home.
+func (t *TokenTM) CopyCreated(core int, b mem.BlockAddr, line *cache.Line, info coherence.FillInfo) {
+	cur := t.curTID(core)
+	if info.Exclusive {
+		fused := mustFuse(t.home[b], line.Meta.Logical())
+		t.setHome(b, metastate.Zero)
+		line.Meta = mustL1(fused, cur)
+		return
+	}
+	kept, newCopy := metastate.Fission(t.home[b])
+	t.setHome(b, kept)
+	line.Meta = mustL1(newCopy, cur)
+}
+
+// CopyLost implements coherence.Listener: a copy's metastate travels home on
+// the (non-silent) eviction or invalidation ack. Losing a line that carried
+// a transaction's tokens revokes that transaction's fast-release
+// eligibility (§4.4).
+func (t *TokenTM) CopyLost(core int, b mem.BlockAddr, lmeta metastate.L1Meta, reason coherence.LossReason) {
+	m := lmeta.Logical()
+	if !m.IsZero() {
+		t.setHome(b, mustFuse(t.home[b], m))
+	}
+	if lmeta.R || lmeta.W {
+		if th := t.running[core]; th != nil && th.InXact() {
+			th.Xact.FastOK = false
+		}
+	}
+	if lmeta.Rp || lmeta.Wp {
+		if th := t.byTID[mem.TID(lmeta.Attr)]; th != nil && th.InXact() {
+			th.Xact.FastOK = false
+		}
+	}
+	if lmeta.RPlus {
+		// Anonymous tokens: conservatively revoke every transaction
+		// holding tokens on this block (rare; only after context
+		// switches fold counts).
+		for _, th := range t.byTID {
+			if th.InXact() && th.Xact.Tokens[b] > 0 {
+				th.Xact.FastOK = false
+			}
+		}
+	}
+}
+
+// probeResult summarizes the fused global metastate of a block.
+type probeResult struct {
+	sum     uint32
+	writer  mem.TID   // NoTID if no writer
+	readers []mem.TID // identified single readers (possibly with duplicates)
+	anon    uint32    // anonymous reader tokens
+}
+
+// probe fuses the home metastate with every L1 copy's metabits — the same
+// information the hardware requester assembles from the data response and
+// invalidation-ack piggybacks (§5.2).
+func (t *TokenTM) probe(b mem.BlockAddr) probeResult {
+	var p probeResult
+	collect := func(m metastate.Meta) {
+		switch {
+		case m.IsZero():
+		case m.IsWriter():
+			if p.writer != mem.NoTID && p.writer != m.TID {
+				panic(fmt.Sprintf("tokentm: two writers on %v: X%d and X%d", b, p.writer, m.TID))
+			}
+			p.writer = m.TID
+		case m.IsIdentified():
+			p.readers = append(p.readers, m.TID)
+		default:
+			p.anon += m.Sum
+		}
+	}
+	collect(t.home[b])
+	for _, c := range t.ms.Sharers(b) {
+		if line := t.ms.LineAt(c, b); line != nil {
+			collect(line.Meta.Logical())
+		}
+	}
+	if p.writer != mem.NoTID {
+		p.sum = metastate.T
+		if p.anon > 0 || len(p.readers) > 0 {
+			panic(fmt.Sprintf("tokentm: writer X%d coexists with readers on %v", p.writer, b))
+		}
+	} else {
+		p.sum = p.anon + uint32(len(p.readers))
+	}
+	return p
+}
+
+// enemiesOf maps identified TIDs (excluding self) to their active
+// transactions.
+func (t *TokenTM) enemiesOf(tids []mem.TID, self mem.TID) []*htm.Xact {
+	var out []*htm.Xact
+	seen := make(map[mem.TID]bool)
+	for _, id := range tids {
+		if id == self || id == mem.NoTID || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if th := t.byTID[id]; th != nil && th.InXact() {
+			out = append(out, th.Xact)
+		}
+	}
+	return out
+}
+
+// hardCaseLookup implements §5.2's hardest case: when anonymous reader
+// tokens hide the enemy set, the contention manager walks the logs of
+// active transactions. The returned latency is proportional to the log
+// records scanned.
+func (t *TokenTM) hardCaseLookup(b mem.BlockAddr, self mem.TID) ([]*htm.Xact, mem.Cycle) {
+	t.Metrics.HardCaseLookups++
+	var enemies []*htm.Xact
+	var lat mem.Cycle
+	for _, th := range t.byTID {
+		if !th.InXact() || th.TID == self {
+			continue
+		}
+		lat += mem.Cycle(th.Log.Len()) * htm.LogWalkPerRecordCycles
+		if th.Xact.Tokens[b] > 0 {
+			enemies = append(enemies, th.Xact)
+		}
+	}
+	return enemies, lat
+}
+
+// conflictKind classifies conflicts for the metrics breakdown.
+type conflictKind int
+
+const (
+	confReadVsWriter conflictKind = iota
+	confWriteVsReaders
+	confWriteVsWriter
+	confNonXact
+)
+
+// conflict traps to the software contention manager and applies the
+// timestamp policy.
+func (t *TokenTM) conflict(req *htm.Xact, enemies []*htm.Xact, retries int, lat mem.Cycle, kind conflictKind) htm.Access {
+	t.Metrics.Conflicts++
+	switch kind {
+	case confReadVsWriter:
+		t.Metrics.ReadVsWriter++
+	case confWriteVsReaders:
+		t.Metrics.WriteVsReaders++
+	case confWriteVsWriter:
+		t.Metrics.WriteVsWriter++
+	case confNonXact:
+		t.Metrics.NonXactConf++
+	}
+	lat += htm.ConflictTrapCycles
+	abort, dec := htm.ResolveTimestamp(req, enemies, retries, t.retryLimit)
+	for _, e := range abort {
+		e.AbortRequested = true
+	}
+	if dec == htm.DecideAbortSelf {
+		return htm.Access{Outcome: htm.AbortSelf, Latency: lat, Enemies: enemies}
+	}
+	t.Metrics.Stalls++
+	return htm.Access{Outcome: htm.Stall, Latency: lat, Enemies: enemies}
+}
+
+// logWrite simulates appending a record to the thread's in-memory log. The
+// cache state is updated with real accesses, but the core only stalls for a
+// fraction of the raw miss time: log stores drain through the store buffer
+// off the critical path. The residual stall is the transaction's log-stall
+// time.
+func (t *TokenTM) logWrite(th *htm.Thread, addr mem.Addr, size int) mem.Cycle {
+	var raw mem.Cycle
+	first := addr.Block()
+	last := (addr + mem.Addr(size) - 1).Block()
+	for b := first; b <= last; b++ {
+		raw += t.ms.Access(th.Core, b, true)
+	}
+	lat := coherence.L1HitCycles
+	if raw > coherence.L1HitCycles {
+		stall := (raw - coherence.L1HitCycles) / htm.LogWriteOverlap
+		lat += stall
+		if th.InXact() {
+			th.Xact.LogStall += stall
+		}
+	}
+	return lat
+}
+
+// Begin starts a transaction attempt; the simulator has already installed
+// th.Xact.
+func (t *TokenTM) Begin(th *htm.Thread, now mem.Cycle) mem.Cycle {
+	return htm.BeginCycles
+}
+
+// Load performs a transactional (or strongly atomic non-transactional) read.
+//
+// When a copy of the block is already resident, the conflict check is purely
+// local: metastate fission guarantees a transactional writer's (T,X) is
+// replicated onto every copy, so readers examine and modify only their local
+// metabits (§4.2). On a miss, the requester inspects the metastate fused
+// from the data response, modeled here by probing the global state before
+// the coherence transition.
+func (t *TokenTM) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.Access) {
+	b := addr.Block()
+	core := th.Core
+	x := th.Xact
+	if x != nil && x.AbortRequested {
+		return 0, htm.Access{Outcome: htm.AbortSelf}
+	}
+
+	line := t.ms.LineAt(core, b)
+	if line == nil {
+		// Miss: the requester sees the metastate arriving with the data;
+		// model the check on the fused global state before the fill.
+		p := t.probe(b)
+		self := mem.NoTID
+		if x != nil {
+			self = x.TID
+		}
+		if p.writer != mem.NoTID && p.writer != self {
+			enemies := t.enemiesOf([]mem.TID{p.writer}, self)
+			return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
+		}
+		lat := t.ms.Access(core, b, false)
+		line = t.ms.LineAt(core, b)
+		if x == nil {
+			return t.store.Load(addr), htm.Access{Latency: lat}
+		}
+		lat += t.acquireRead(th, line, b)
+		return t.store.Load(addr), htm.Access{Latency: lat}
+	}
+
+	// Resident copy: local metabits carry the whole truth about writers.
+	if x == nil {
+		if line.Meta.Wp {
+			enemies := t.enemiesOf([]mem.TID{mem.TID(line.Meta.Attr)}, mem.NoTID)
+			return 0, t.conflict(nil, enemies, retries, coherence.L1HitCycles, confNonXact)
+		}
+		lat := t.ms.Access(core, b, false)
+		return t.store.Load(addr), htm.Access{Latency: lat}
+	}
+	if line.Meta.Wp && mem.TID(line.Meta.Attr) != x.TID {
+		enemies := t.enemiesOf([]mem.TID{mem.TID(line.Meta.Attr)}, x.TID)
+		return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
+	}
+	lat := t.ms.Access(core, b, false)
+	lat += t.acquireRead(th, line, b)
+	return t.store.Load(addr), htm.Access{Latency: lat}
+}
+
+// acquireRead applies the local read-acquire rules and logs any new token.
+func (t *TokenTM) acquireRead(th *htm.Thread, line *cache.Line, b mem.BlockAddr) mem.Cycle {
+	x := th.Xact
+	res := line.Meta.AcquireRead(x.TID)
+	if !res.OK {
+		panic(fmt.Sprintf("tokentm: read acquire failed after pre-check on %v: %+v", b, res))
+	}
+	var lat mem.Cycle
+	if res.TokensAcquired > 0 {
+		x.Tokens[b] += res.TokensAcquired
+		rAddr, rSize := th.Log.AppendToken(b, res.TokensAcquired)
+		lat += t.logWrite(th, rAddr, rSize)
+	}
+	x.ReadSet[b] = struct{}{}
+	return lat
+}
+
+// Store performs a transactional (or strongly atomic non-transactional)
+// write.
+func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) htm.Access {
+	b := addr.Block()
+	core := th.Core
+	x := th.Xact
+	if x != nil && x.AbortRequested {
+		return htm.Access{Outcome: htm.AbortSelf}
+	}
+
+	// Fast paths on a writable resident copy. Holding M/E means no other
+	// core has a copy, and any foreign tokens would have blocked the
+	// transition that granted us write permission, so the local metabits
+	// are authoritative.
+	if line := t.ms.LineAt(core, b); line != nil && line.State.CanWrite() {
+		if x != nil && line.Meta.W {
+			lat := t.ms.Access(core, b, true)
+			t.store.StoreWord(addr, val)
+			return htm.Access{Latency: lat}
+		}
+		if x == nil && line.Meta.IsZero() {
+			lat := t.ms.Access(core, b, true)
+			t.store.StoreWord(addr, val)
+			return htm.Access{Latency: lat}
+		}
+	}
+
+	p := t.probe(b)
+	if x == nil {
+		// Strong atomicity: a non-transactional store conflicts with any
+		// transactional tokens.
+		if p.sum > 0 {
+			enemies := t.enemiesOf(append(p.readers, p.writer), mem.NoTID)
+			if uint32(len(enemies)) < minNonWriter(p) {
+				more, walkLat := t.hardCaseLookup(b, mem.NoTID)
+				enemies = more
+				return t.conflict(nil, enemies, retries, coherence.L1HitCycles+walkLat, confNonXact)
+			}
+			return t.conflict(nil, enemies, retries, coherence.L1HitCycles, confNonXact)
+		}
+		lat := t.ms.Access(core, b, true)
+		t.store.StoreWord(addr, val)
+		return htm.Access{Latency: lat}
+	}
+
+	mine := x.Tokens[b]
+	var needed uint32
+	switch {
+	case p.writer == x.TID:
+		needed = 0
+	case p.writer != mem.NoTID:
+		return t.conflict(x, t.enemiesOf([]mem.TID{p.writer}, x.TID), retries, coherence.L1HitCycles, confWriteVsWriter)
+	default:
+		others := p.sum - mine
+		if others > 0 {
+			enemies := t.enemiesOf(p.readers, x.TID)
+			var walkLat mem.Cycle
+			if uint32(len(enemies)) < others {
+				// Unknown readers hide in anonymous counts: §5.2's
+				// hardest case.
+				enemies, walkLat = t.hardCaseLookup(b, x.TID)
+			}
+			return t.conflict(x, enemies, retries, coherence.L1HitCycles+walkLat, confWriteVsReaders)
+		}
+		needed = metastate.T - mine
+	}
+
+	lat := t.ms.Access(core, b, true)
+	line := t.ms.LineAt(core, b)
+	// The pre-check proved every outstanding debit is ours, so the write
+	// takes all remaining tokens; the contention manager resolves the
+	// anonymous-count-is-all-mine case in software (§5.2).
+	line.Meta = metastate.L1Meta{W: true, Attr: uint16(x.TID)}
+
+	if _, seen := x.WriteSet[b]; !seen {
+		old := t.readBlock(b)
+		rAddr, rSize := th.Log.AppendData(b, needed, old)
+		lat += t.logWrite(th, rAddr, rSize)
+		x.WriteSet[b] = struct{}{}
+	} else if needed != 0 {
+		panic("tokentm: rewritten block missing tokens")
+	}
+	x.Tokens[b] = mine + needed
+	t.store.StoreWord(addr, val)
+	return htm.Access{Latency: lat}
+}
+
+// minNonWriter returns the number of token holders a non-transactional
+// conflict must identify (the writer counts as one, readers as their sum).
+func minNonWriter(p probeResult) uint32 {
+	if p.writer != mem.NoTID {
+		return 1
+	}
+	return p.sum
+}
+
+func (t *TokenTM) readBlock(b mem.BlockAddr) (out [mem.WordsPerBlock]uint64) {
+	base := b.Addr()
+	for i := range out {
+		out[i] = t.store.Load(base + mem.Addr(i*mem.WordBytes))
+	}
+	return out
+}
+
+func (t *TokenTM) writeBlock(b mem.BlockAddr, words [mem.WordsPerBlock]uint64) {
+	base := b.Addr()
+	for i, w := range words {
+		t.store.StoreWord(base+mem.Addr(i*mem.WordBytes), w)
+	}
+}
+
+// Commit ends th's transaction. If fast release is enabled and still legal,
+// tokens are returned by flash-clearing the L1's R/W columns and resetting
+// the log pointer, in constant time. Otherwise the software handler walks
+// the log, releasing tokens block by block with real (simulated) memory
+// accesses.
+func (t *TokenTM) Commit(th *htm.Thread) (mem.Cycle, bool) {
+	x := th.Xact
+	if t.fastRelease && x.FastOK {
+		t.ms.L1s[th.Core].FlashClearRW()
+		th.Log.Reset()
+		x.Tokens = make(map[mem.BlockAddr]uint32)
+		x.Active = false
+		t.FastCommits++
+		return htm.FastCommitCycles, true
+	}
+	lat := t.softwareRelease(th)
+	x.Active = false
+	t.SlowCommits++
+	return lat, false
+}
+
+// softwareRelease walks the log, charging the trap handler per record plus
+// the memory accesses to read the log and touch each block's metastate.
+func (t *TokenTM) softwareRelease(th *htm.Thread) mem.Cycle {
+	x := th.Xact
+	core := th.Core
+	var lat mem.Cycle
+	offset := 0
+	for _, rec := range th.Log.Records() {
+		lat += htm.ReleaseRecordCycles
+		lat += t.ms.Access(core, (th.Log.Base() + mem.Addr(offset)).Block(), false)
+		offset += rec.Bytes()
+	}
+	for b, total := range x.Tokens {
+		lat += t.ms.Access(core, b, false)
+		t.releaseBlock(th, b, total)
+	}
+	th.Log.Reset()
+	x.Tokens = make(map[mem.BlockAddr]uint32)
+	return lat
+}
+
+// releaseBlock credits total tokens for block b back to the metastate,
+// looking first in the thread's own L1 line (R/W bits, post-context-switch
+// R'/W' bits, anonymous R+ counts) and then at home. Anonymous tokens are
+// fungible, so greedy decrementing preserves the bookkeeping invariant.
+func (t *TokenTM) releaseBlock(th *htm.Thread, b mem.BlockAddr, total uint32) {
+	me := th.TID
+	line := t.ms.LineAt(th.Core, b)
+
+	if total == metastate.T {
+		// Writer release: clear every copy of (T,me) — the line and a
+		// possible home duplicate created by fission.
+		cleared := false
+		if line != nil && (line.Meta.W || (line.Meta.Wp && mem.TID(line.Meta.Attr) == me)) {
+			line.Meta.W = false
+			line.Meta.Wp = false
+			cleared = true
+		}
+		if h := t.home[b]; h.IsWriter() && h.TID == me {
+			t.setHome(b, metastate.Zero)
+			cleared = true
+		}
+		if !cleared {
+			panic(fmt.Sprintf("tokentm: writer release found no tokens for X%d on %v", me, b))
+		}
+		return
+	}
+
+	remaining := total
+	if line != nil && remaining > 0 {
+		if line.Meta.R {
+			line.Meta.R = false
+			remaining--
+		} else if line.Meta.Rp && !line.Meta.RPlus && mem.TID(line.Meta.Attr) == me {
+			line.Meta.Rp = false
+			remaining--
+		}
+		if remaining > 0 && line.Meta.RPlus {
+			take := remaining
+			if uint32(line.Meta.Attr) < take {
+				take = uint32(line.Meta.Attr)
+			}
+			line.Meta.Attr -= uint16(take)
+			if line.Meta.Attr == 0 {
+				line.Meta.RPlus = false
+			}
+			remaining -= take
+		}
+	}
+	if remaining > 0 {
+		h := t.home[b]
+		switch {
+		case h.IsIdentified() && h.TID == me && h.Sum == 1:
+			t.setHome(b, metastate.Zero)
+			remaining--
+		case !h.IsWriter() && h.TID == mem.NoTID && h.Sum > 0:
+			take := remaining
+			if h.Sum < take {
+				take = h.Sum
+			}
+			t.setHome(b, metastate.Anon(h.Sum-take))
+			remaining -= take
+		}
+	}
+	if remaining > 0 {
+		panic(fmt.Sprintf("tokentm: release lost %d tokens for X%d on %v", remaining, me, b))
+	}
+}
+
+// Abort unrolls the transaction: the log is walked in reverse restoring
+// pre-transaction data, then all tokens are released.
+func (t *TokenTM) Abort(th *htm.Thread) mem.Cycle {
+	x := th.Xact
+	core := th.Core
+	var lat mem.Cycle
+	offset := th.Log.Bytes()
+	// Walk newest-first: restore old data for store records.
+	recs := th.Log.Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		offset -= rec.Bytes()
+		lat += htm.AbortRecordCycles
+		lat += t.ms.Access(core, (th.Log.Base() + mem.Addr(offset)).Block(), false)
+		if rec.Kind == tmlog.DataRecord {
+			lat += t.ms.Access(core, rec.Block, true)
+			t.writeBlock(rec.Block, rec.Old)
+		}
+	}
+	for b, total := range x.Tokens {
+		lat += t.ms.Access(core, b, false)
+		t.releaseBlock(th, b, total)
+	}
+	th.Log.Reset()
+	x.Tokens = make(map[mem.BlockAddr]uint32)
+	x.Active = false
+	t.Metrics.Aborts++
+	return lat
+}
+
+// ContextSwitch swaps threads on a core using the constant-time flash-OR:
+// the departing thread's R/W bits become R'/W' bits, freeing the columns for
+// the incoming thread, at the cost of the departing transaction's
+// fast-release eligibility (§4.4).
+func (t *TokenTM) ContextSwitch(core int, out, in *htm.Thread) mem.Cycle {
+	t.ms.L1s[core].FlashOR()
+	if out != nil && out.InXact() {
+		out.Xact.FastOK = false
+	}
+	t.running[core] = in
+	return htm.CtxSwitchCycles
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"testing"
+
+	"tokentm/internal/coherence"
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+	"tokentm/internal/tmlog"
+)
+
+// rig drives the TokenTM system directly, without the scheduler, for
+// protocol-level tests.
+type rig struct {
+	t   *testing.T
+	ms  *coherence.MemSys
+	st  *mem.Store
+	tok *TokenTM
+	ths []*htm.Thread
+}
+
+func newRig(t *testing.T, cores int, opts ...Option) *rig {
+	t.Helper()
+	ms := coherence.NewMemSys(cores)
+	st := mem.NewStore()
+	tok := New(ms, st, opts...)
+	return &rig{t: t, ms: ms, st: st, tok: tok}
+}
+
+// thread creates a registered thread on the given core and marks it running
+// there.
+func (r *rig) thread(core int) *htm.Thread {
+	id := len(r.ths)
+	th := &htm.Thread{
+		ID:   id,
+		TID:  mem.TID(id + 1),
+		Core: core,
+		Log:  tmlog.New(mem.Addr(1<<40) + mem.Addr(id)<<24),
+	}
+	r.tok.Register(th)
+	r.tok.RunningOn(core, th)
+	r.ths = append(r.ths, th)
+	return th
+}
+
+// begin starts a transaction on th.
+func (r *rig) begin(th *htm.Thread, ts mem.Cycle) *htm.Xact {
+	x := &htm.Xact{TID: th.TID, Core: th.Core, Timestamp: ts}
+	x.Reset()
+	x.Attempts = 1
+	th.Xact = x
+	r.tok.RunningOn(th.Core, th)
+	r.tok.Begin(th, ts)
+	return x
+}
+
+func (r *rig) load(th *htm.Thread, a mem.Addr) (uint64, htm.Access) {
+	r.tok.RunningOn(th.Core, th)
+	return r.tok.Load(th, a, 0)
+}
+
+func (r *rig) store(th *htm.Thread, a mem.Addr, v uint64) htm.Access {
+	r.tok.RunningOn(th.Core, th)
+	return r.tok.Store(th, a, v, 0)
+}
+
+func (r *rig) mustOK(acc htm.Access) {
+	r.t.Helper()
+	if acc.Outcome != htm.OK {
+		r.t.Fatalf("access not OK: %+v", acc)
+	}
+}
+
+func (r *rig) commit(th *htm.Thread) bool {
+	r.tok.RunningOn(th.Core, th)
+	_, fast := r.tok.Commit(th)
+	th.Xact = nil
+	return fast
+}
+
+func (r *rig) abort(th *htm.Thread) {
+	r.tok.RunningOn(th.Core, th)
+	r.tok.Abort(th)
+	th.Xact = nil
+}
+
+func (r *rig) check() {
+	r.t.Helper()
+	if err := r.tok.CheckBookkeeping(); err != nil {
+		r.t.Fatalf("bookkeeping: %v", err)
+	}
+}
+
+const (
+	blkA mem.Addr = 0x1000
+	blkB mem.Addr = 0x2000
+	blkC mem.Addr = 0x3000
+	blkD mem.Addr = 0x4000
+)
+
+// TestFigure2Bookkeeping reproduces the paper's Figure 2: X holds one token
+// on A and all tokens on B and D; Y holds one token on A; blocks not touched
+// stay at (0,-). Both sides of the double-entry books must agree.
+func TestFigure2Bookkeeping(t *testing.T) {
+	r := newRig(t, 3)
+	x := r.thread(0)
+	y := r.thread(1)
+	r.thread(2) // Z, idle
+
+	r.begin(x, 10)
+	r.begin(y, 20)
+
+	if _, acc := r.load(x, blkA); acc.Outcome != htm.OK {
+		t.Fatalf("X load A: %+v", acc)
+	}
+	r.mustOK(r.store(x, blkB, 1))
+	r.mustOK(r.store(x, blkD, 2))
+	if _, acc := r.load(y, blkA); acc.Outcome != htm.OK {
+		t.Fatalf("Y load A: %+v", acc)
+	}
+
+	// X's log: one token for A, T for B, T for D.
+	if got := x.Log.Tokens(blkA.Block()); got != 1 {
+		t.Errorf("X tokens on A = %d", got)
+	}
+	if got := x.Log.Tokens(blkB.Block()); got != metastate.T {
+		t.Errorf("X tokens on B = %d", got)
+	}
+	if got := x.Log.Tokens(blkD.Block()); got != metastate.T {
+		t.Errorf("X tokens on D = %d", got)
+	}
+	// Y's log: one token for A.
+	if got := y.Log.Tokens(blkA.Block()); got != 1 {
+		t.Errorf("Y tokens on A = %d", got)
+	}
+
+	// Metastate: A has two debits, B is (T,X).
+	pA := r.tok.probe(blkA.Block())
+	if pA.sum != 2 {
+		t.Errorf("A debits = %d, want 2", pA.sum)
+	}
+	pB := r.tok.probe(blkB.Block())
+	if pB.writer != x.TID {
+		t.Errorf("B writer = %d", pB.writer)
+	}
+	pF := r.tok.probe(0x99000 >> mem.BlockShift) // untouched block F
+	if pF.sum != 0 {
+		t.Errorf("F debits = %d", pF.sum)
+	}
+	r.check()
+
+	r.commit(x)
+	r.commit(y)
+	r.check()
+	if got := r.tok.probe(blkA.Block()); got.sum != 0 {
+		t.Errorf("A after commits: %d", got.sum)
+	}
+}
+
+func TestReadReadSharing(t *testing.T) {
+	r := newRig(t, 2)
+	x, y := r.thread(0), r.thread(1)
+	r.begin(x, 1)
+	r.begin(y, 2)
+	if _, acc := r.load(x, blkA); acc.Outcome != htm.OK {
+		t.Fatal("X read")
+	}
+	if _, acc := r.load(y, blkA); acc.Outcome != htm.OK {
+		t.Fatal("Y read must coexist")
+	}
+	r.check()
+	r.commit(x)
+	r.commit(y)
+	r.check()
+}
+
+func TestWriteConflictsDetected(t *testing.T) {
+	r := newRig(t, 3)
+	w := r.thread(0)
+	rd := r.thread(1)
+	w2 := r.thread(2)
+
+	r.begin(w, 1)
+	r.mustOK(r.store(w, blkA, 5))
+
+	// Reader vs writer: conflict identifies the writer.
+	r.begin(rd, 2)
+	if _, acc := r.load(rd, blkA); acc.Outcome == htm.OK {
+		t.Fatal("read of written block must conflict")
+	} else if len(acc.Enemies) != 1 || acc.Enemies[0].TID != w.TID {
+		t.Fatalf("enemy identification: %+v", acc.Enemies)
+	}
+
+	// Writer vs writer.
+	r.begin(w2, 3)
+	if acc := r.store(w2, blkA, 9); acc.Outcome == htm.OK {
+		t.Fatal("write of written block must conflict")
+	}
+
+	// Non-transactional store vs writer (strong atomicity).
+	idle := r.thread(1) // new thread, no transaction
+	if acc := r.store(idle, blkA, 1); acc.Outcome == htm.OK {
+		t.Fatal("non-transactional store must conflict with a writer")
+	}
+	r.abort(rd)
+	r.abort(w2)
+	r.commit(w)
+	r.check()
+}
+
+func TestWriterVsReadersHardCase(t *testing.T) {
+	r := newRig(t, 4)
+	r1, r2, w := r.thread(0), r.thread(1), r.thread(2)
+	r.begin(r1, 1)
+	r.begin(r2, 2)
+	r.begin(w, 3)
+	r.load(r1, blkA)
+	r.load(r2, blkA)
+
+	acc := r.store(w, blkA, 7)
+	if acc.Outcome == htm.OK {
+		t.Fatal("write vs two readers must conflict")
+	}
+	if len(acc.Enemies) != 2 {
+		t.Fatalf("want both readers identified (via hints or log walk), got %d", len(acc.Enemies))
+	}
+	r.commit(r1)
+	r.commit(r2)
+	// After the readers release, the write succeeds.
+	r.mustOK(r.store(w, blkA, 7))
+	r.commit(w)
+	r.check()
+}
+
+// TestTimestampPolicy: an older writer forces younger readers to abort; a
+// younger requester stalls and eventually self-aborts.
+func TestTimestampPolicy(t *testing.T) {
+	r := newRig(t, 3, WithRetryLimit(8))
+	young := r.thread(0)
+	old := r.thread(1)
+	r.begin(old, 5) // older (smaller timestamp)
+	r.begin(young, 50)
+
+	r.load(young, blkA)
+	acc := r.store(old, blkA, 1)
+	if acc.Outcome != htm.Stall {
+		t.Fatalf("older writer should stall: %+v", acc)
+	}
+	if young.Xact.AbortRequested {
+		t.Fatal("a running (non-stalled) younger reader is not aborted")
+	}
+	// Once the younger transaction is itself stalled (waiting and wanted:
+	// a possible deadlock cycle), the older requester forces it out.
+	young.Xact.Stalling = true
+	acc = r.store(old, blkA, 1)
+	if acc.Outcome != htm.Stall || !young.Xact.AbortRequested {
+		t.Fatalf("stalled younger holder must be told to abort: %+v", acc)
+	}
+	r.abort(young)
+	r.mustOK(r.store(old, blkA, 1))
+
+	// Younger requester stalls against the older holder, then self-aborts
+	// past the retry limit.
+	r.begin(young, 60)
+	for i := 0; i < 20; i++ {
+		r.tok.RunningOn(young.Core, young)
+		_, acc = r.tok.Load(young, blkA, i)
+		if acc.Outcome == htm.AbortSelf {
+			break
+		}
+		if acc.Outcome == htm.OK {
+			t.Fatal("young read should conflict")
+		}
+	}
+	if acc.Outcome != htm.AbortSelf {
+		t.Fatalf("young requester should eventually self-abort: %+v", acc)
+	}
+	r.abort(young)
+	r.commit(old)
+	r.check()
+}
+
+func TestAbortRestoresData(t *testing.T) {
+	r := newRig(t, 1)
+	x := r.thread(0)
+	r.st.StoreWord(blkA, 111)
+	r.st.StoreWord(blkA+8, 222)
+
+	r.begin(x, 1)
+	r.mustOK(r.store(x, blkA, 999))
+	r.mustOK(r.store(x, blkA+8, 888))
+	r.mustOK(r.store(x, blkB, 777))
+	if r.st.Load(blkA) != 999 {
+		t.Fatal("eager versioning writes in place")
+	}
+	r.abort(x)
+	if r.st.Load(blkA) != 111 || r.st.Load(blkA+8) != 222 || r.st.Load(blkB) != 0 {
+		t.Fatalf("abort did not restore: %d %d %d", r.st.Load(blkA), r.st.Load(blkA+8), r.st.Load(blkB))
+	}
+	r.check()
+}
+
+// TestEvictionMovesTokensHome: evicting a transactional line parks its
+// tokens at home, revokes fast release, and software release reclaims them.
+func TestEvictionMovesTokensHome(t *testing.T) {
+	r := newRig(t, 1)
+	x := r.thread(0)
+	r.begin(x, 1)
+	r.load(x, blkA)
+	if !x.Xact.FastOK {
+		t.Fatal("fresh transaction should be fast-eligible")
+	}
+	b := blkA.Block()
+	r.ms.EvictAll(b)
+	if x.Xact.FastOK {
+		t.Fatal("eviction of a tokened line must revoke fast release")
+	}
+	if got := r.tok.HomeMeta(b); got != metastate.Read1(x.TID) {
+		t.Fatalf("home after eviction: %v", got)
+	}
+	r.check()
+	if fast := r.commit(x); fast {
+		t.Fatal("commit must use software release")
+	}
+	if got := r.tok.HomeMeta(b); !got.IsZero() {
+		t.Fatalf("home after release: %v", got)
+	}
+	r.check()
+}
+
+// TestReacquireAfterEviction: re-reading an evicted block acquires a second
+// token (the paper's duplication case); both are released at commit.
+func TestReacquireAfterEviction(t *testing.T) {
+	r := newRig(t, 1)
+	x := r.thread(0)
+	r.begin(x, 1)
+	r.load(x, blkA)
+	r.ms.EvictAll(blkA.Block())
+	r.load(x, blkA)
+	if got := x.Xact.Tokens[blkA.Block()]; got != 2 {
+		t.Fatalf("tokens after re-acquire = %d, want 2", got)
+	}
+	r.check()
+	r.commit(x)
+	r.check()
+	if got := r.tok.probe(blkA.Block()); got.sum != 0 {
+		t.Fatalf("leaked tokens: %d", got.sum)
+	}
+}
+
+// TestWriterDupRefill: a writer whose line is evicted and refilled sees its
+// (T,X) duplicated at home and in cache; release clears both.
+func TestWriterDupRefill(t *testing.T) {
+	r := newRig(t, 1)
+	x := r.thread(0)
+	r.begin(x, 1)
+	r.mustOK(r.store(x, blkA, 1))
+	r.ms.EvictAll(blkA.Block())
+	if got := r.tok.HomeMeta(blkA.Block()); !got.IsWriter() {
+		t.Fatalf("home after writer eviction: %v", got)
+	}
+	// Re-read: fission duplicates (T,X) onto the refill.
+	if _, acc := r.load(x, blkA); acc.Outcome != htm.OK {
+		t.Fatalf("own re-read: %+v", acc)
+	}
+	line := r.ms.LineAt(0, blkA.Block())
+	if line == nil || !line.Meta.W {
+		t.Fatalf("refilled line metabits: %v", line)
+	}
+	r.check()
+	r.commit(x)
+	r.check()
+	if got := r.tok.probe(blkA.Block()); got.sum != 0 {
+		t.Fatal("writer tokens leaked")
+	}
+	// And a rewrite after refill also works.
+	r.begin(x, 2)
+	r.mustOK(r.store(x, blkA, 3))
+	r.ms.EvictAll(blkA.Block())
+	r.mustOK(r.store(x, blkA, 4))
+	r.commit(x)
+	r.check()
+}
+
+// TestUpgradeAfterAnonymization: read, evict, re-read (two tokens, one
+// anonymous at home after the second eviction), then write — the
+// contention manager resolves the anonymous count as ours (§5.2) and the
+// upgrade succeeds.
+func TestUpgradeAfterAnonymization(t *testing.T) {
+	r := newRig(t, 1)
+	x := r.thread(0)
+	r.begin(x, 1)
+	r.load(x, blkA)
+	r.ms.EvictAll(blkA.Block())
+	r.load(x, blkA)
+	r.ms.EvictAll(blkA.Block())
+	// Home now holds (2,-): both tokens ours but anonymous.
+	if got := r.tok.HomeMeta(blkA.Block()); got != metastate.Anon(2) {
+		t.Fatalf("home: %v", got)
+	}
+	r.mustOK(r.store(x, blkA, 9))
+	if got := x.Xact.Tokens[blkA.Block()]; got != metastate.T {
+		t.Fatalf("tokens after upgrade: %d", got)
+	}
+	r.check()
+	r.commit(x)
+	r.check()
+}
+
+// TestPaging: tokens survive a page-out/page-in cycle (§5.3).
+func TestPaging(t *testing.T) {
+	r := newRig(t, 2)
+	x := r.thread(0)
+	y := r.thread(1)
+	r.begin(x, 1)
+	r.load(x, blkA)
+	r.mustOK(r.store(x, blkB, 42))
+
+	pageA := blkA.Page()
+	pageB := blkB.Page()
+	spA := r.tok.PageOut(pageA)
+	spB := r.tok.PageOut(pageB)
+	if x.Xact.FastOK {
+		t.Fatal("page-out must revoke fast release")
+	}
+	// While paged out the home map is clean for those blocks.
+	if !r.tok.HomeMeta(blkA.Block()).IsZero() {
+		t.Fatal("paged-out metastate still resident")
+	}
+	if err := r.tok.PageIn(spA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.tok.PageIn(spB); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.tok.HomeMeta(blkA.Block()); got != metastate.Read1(x.TID) {
+		t.Fatalf("A metastate after page-in: %v", got)
+	}
+	r.check()
+
+	// Conflict detection still works: another transaction writing A
+	// conflicts with X's paged-and-restored token.
+	r.begin(y, 2)
+	if acc := r.store(y, blkA, 1); acc.Outcome == htm.OK {
+		t.Fatal("restored token must still cause conflicts")
+	}
+	r.abort(y)
+	r.commit(x)
+	r.check()
+}
+
+// TestSysVSharedMemory: threads of two different "processes" (disjoint TID
+// ranges, as the paper requires globally unique TIDs) share physical blocks
+// with full conflict detection, since metastate is physical (§5.3).
+func TestSysVSharedMemory(t *testing.T) {
+	r := newRig(t, 2)
+	p1 := r.thread(0) // process 1
+	p2 := r.thread(1) // process 2 (different TID by construction)
+	shared := mem.Addr(0x50000)
+
+	r.begin(p1, 1)
+	r.mustOK(r.store(p1, shared, 7))
+	r.begin(p2, 2)
+	if acc := r.store(p2, shared, 8); acc.Outcome == htm.OK {
+		t.Fatal("cross-process conflict missed")
+	}
+	r.commit(p1)
+	r.mustOK(r.store(p2, shared, 8))
+	r.commit(p2)
+	r.check()
+	if r.st.Load(shared) != 8 {
+		t.Fatalf("final value %d", r.st.Load(shared))
+	}
+}
+
+// TestContextSwitchFlashORPath: direct protocol-level check of the §4.4
+// switch machinery: tokens survive as R'/W' and release still finds them.
+func TestContextSwitchFlashORPath(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.thread(0)
+	b := r.thread(0) // second thread on the same core
+
+	r.begin(a, 1)
+	r.load(a, blkA)
+	r.mustOK(r.store(a, blkB, 5))
+
+	// Switch a out, b in.
+	r.tok.ContextSwitch(0, a, b)
+	if a.Xact.FastOK {
+		t.Fatal("switch must revoke fast release")
+	}
+	line := r.ms.LineAt(0, blkA.Block())
+	if line == nil || !line.Meta.Rp {
+		t.Fatalf("R bit should have become R': %v", line)
+	}
+
+	// b runs a transaction on other blocks, conflicts on A.
+	r.begin(b, 2)
+	if acc := r.store(b, blkA, 9); acc.Outcome == htm.OK {
+		t.Fatal("switched-out tokens must still conflict")
+	}
+	r.load(b, blkC)
+	r.commit(b)
+
+	// Switch a back in; its commit must release the R'/W' tokens.
+	r.tok.ContextSwitch(0, b, a)
+	r.check()
+	if fast := r.commit(a); fast {
+		t.Fatal("post-switch commit cannot be fast")
+	}
+	r.check()
+	if got := r.tok.probe(blkA.Block()); got.sum != 0 {
+		t.Fatal("tokens leaked after post-switch release")
+	}
+}
+
+// TestNonTransactionalReadOfReadBlock: nonconflicting strong-atomicity
+// accesses proceed.
+func TestStrongAtomicityNonConflicting(t *testing.T) {
+	r := newRig(t, 2)
+	x := r.thread(0)
+	other := r.thread(1)
+	r.begin(x, 1)
+	r.load(x, blkA)
+	// Non-transactional read of a read-shared block is fine.
+	if _, acc := r.load(other, blkA); acc.Outcome != htm.OK {
+		t.Fatalf("nonxact read vs reader: %+v", acc)
+	}
+	// Non-transactional write conflicts with the read token.
+	if acc := r.store(other, blkA, 3); acc.Outcome == htm.OK {
+		t.Fatal("nonxact write vs reader must conflict")
+	}
+	r.commit(x)
+	r.mustOK(r.store(other, blkA, 3))
+	r.check()
+}

@@ -1,0 +1,146 @@
+package eccmeta
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreedBitsArithmetic(t *testing.T) {
+	// The paper's claim: 72*4 - 256 - 10 = 22 bits, enough for 16
+	// metabits + 6 SECDED check bits.
+	if FreedBits != 22 {
+		t.Fatalf("freed bits = %d, want 22", FreedBits)
+	}
+	if MetaBits+MetaCheckBits != FreedBits {
+		t.Fatalf("metabits %d + check %d != freed %d", MetaBits, MetaCheckBits, FreedBits)
+	}
+	// SECDED capacity: 2^(c-1) >= data + c must hold for both codes.
+	if 1<<(GroupCheckBits-1) < GroupDataBits+GroupCheckBits {
+		t.Error("group code has too few check bits")
+	}
+	if 1<<(MetaCheckBits-1) < MetaBits+MetaCheckBits {
+		t.Error("meta code has too few check bits")
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	f := func(d0, d1, d2, d3 uint64, meta uint16) bool {
+		cw := EncodeGroup([4]uint64{d0, d1, d2, d3}, meta)
+		data, m, err := DecodeGroup(cw)
+		return err == nil && data == [4]uint64{d0, d1, d2, d3} && m == meta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleDataErrorCorrected flips each of the 256 data bits in turn and
+// verifies correction.
+func TestSingleDataErrorCorrected(t *testing.T) {
+	orig := [4]uint64{0xdeadbeefcafef00d, 0x0123456789abcdef, ^uint64(0), 0}
+	const meta = 0xa5f3
+	for i := 0; i < GroupDataBits; i++ {
+		cw := EncodeGroup(orig, meta)
+		cw.FlipDataBit(i)
+		data, m, err := DecodeGroup(cw)
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if data != orig || m != meta {
+			t.Fatalf("bit %d not corrected: %x %x", i, data, m)
+		}
+	}
+}
+
+// TestSingleMetaErrorCorrected flips each of the 16 metabits in turn.
+func TestSingleMetaErrorCorrected(t *testing.T) {
+	orig := [4]uint64{1, 2, 3, 4}
+	const meta = 0x5a5a
+	for i := 0; i < MetaBits; i++ {
+		cw := EncodeGroup(orig, meta)
+		cw.FlipMetaBit(i)
+		data, m, err := DecodeGroup(cw)
+		if err != nil {
+			t.Fatalf("metabit %d: %v", i, err)
+		}
+		if data != orig || m != meta {
+			t.Fatalf("metabit %d not corrected: %x %x", i, data, m)
+		}
+	}
+}
+
+// TestDoubleErrorsDetected injects random double-bit errors in each field
+// and verifies they are detected (never silently miscorrected).
+func TestDoubleErrorsDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := [4]uint64{0x1111, 0x2222, 0x3333, 0x4444}
+	const meta = 0x0f0f
+	for trial := 0; trial < 500; trial++ {
+		cw := EncodeGroup(orig, meta)
+		i := rng.Intn(GroupDataBits)
+		j := rng.Intn(GroupDataBits)
+		for j == i {
+			j = rng.Intn(GroupDataBits)
+		}
+		cw.FlipDataBit(i)
+		cw.FlipDataBit(j)
+		if _, _, err := DecodeGroup(cw); !errors.Is(err, ErrDoubleError) {
+			t.Fatalf("data double error (%d,%d) not detected: %v", i, j, err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		cw := EncodeGroup(orig, meta)
+		i := rng.Intn(MetaBits)
+		j := rng.Intn(MetaBits)
+		for j == i {
+			j = rng.Intn(MetaBits)
+		}
+		cw.FlipMetaBit(i)
+		cw.FlipMetaBit(j)
+		if _, _, err := DecodeGroup(cw); !errors.Is(err, ErrDoubleError) {
+			t.Fatalf("meta double error (%d,%d) not detected: %v", i, j, err)
+		}
+	}
+}
+
+// TestCheckBitErrorHarmless flips stored check bits; the data must still
+// decode intact.
+func TestCheckBitErrorHarmless(t *testing.T) {
+	orig := [4]uint64{9, 8, 7, 6}
+	const meta = 0xbead
+	for i := 0; i < GroupCheckBits; i++ {
+		cw := EncodeGroup(orig, meta)
+		cw.DataCheck ^= 1 << i
+		data, m, err := DecodeGroup(cw)
+		if err != nil || data != orig || m != meta {
+			t.Fatalf("data check bit %d: %v %x %x", i, err, data, m)
+		}
+	}
+	for i := 0; i < MetaCheckBits; i++ {
+		cw := EncodeGroup(orig, meta)
+		cw.MetaCheck ^= 1 << i
+		data, m, err := DecodeGroup(cw)
+		if err != nil || data != orig || m != meta {
+			t.Fatalf("meta check bit %d: %v %x %x", i, err, data, m)
+		}
+	}
+}
+
+// TestErrorFieldIndependence: an error in the data field never disturbs the
+// metabits and vice versa, because they are independent codewords.
+func TestErrorFieldIndependence(t *testing.T) {
+	orig := [4]uint64{0xaaaa, 0xbbbb, 0xcccc, 0xdddd}
+	const meta = 0x1234
+	cw := EncodeGroup(orig, meta)
+	cw.FlipDataBit(100)
+	cw.FlipMetaBit(3)
+	data, m, err := DecodeGroup(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != orig || m != meta {
+		t.Fatalf("independent single errors not both corrected: %x %x", data, m)
+	}
+}

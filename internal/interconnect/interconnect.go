@@ -1,0 +1,119 @@
+// Package interconnect models the paper's on-chip network: a packet-switched
+// tiled topology of 8 clusters (4 cores each) with 64-byte links, connecting
+// cores, the 32 address-interleaved L2 cache banks, and 4 on-chip memory
+// controllers (§6.1).
+//
+// The model is latency-oriented: each message is charged a per-hop router
+// cost over the Manhattan distance between tiles plus link serialization for
+// its payload. Adaptive routing and buffering are abstracted as a fixed
+// per-hop cost; bank and memory-controller occupancy is modeled by the
+// coherence layer.
+package interconnect
+
+import "tokentm/internal/mem"
+
+// Topology constants (paper §6.1).
+const (
+	// Clusters is the number of tiles; clusters are arranged 4x2.
+	Clusters = 8
+	// CoresPerCluster groups 4 cores on one tile.
+	CoresPerCluster = 4
+	// Cores is the total core count.
+	Cores = Clusters * CoresPerCluster
+	// L2Banks is the number of block-interleaved shared L2 banks.
+	L2Banks = 32
+	// MemControllers is the number of on-chip memory controllers.
+	MemControllers = 4
+	// LinkBytes is the link width: one 64-byte block per flit group.
+	LinkBytes = 64
+	// gridW and gridH arrange the 8 clusters in a 4x2 grid.
+	gridW = 4
+	gridH = 2
+)
+
+// Latency parameters (cycles).
+const (
+	// HopCycles is the router+link traversal cost per hop.
+	HopCycles mem.Cycle = 3
+	// FlitCycles is the serialization cost per LinkBytes of payload
+	// beyond the head flit.
+	FlitCycles mem.Cycle = 1
+)
+
+// NoC computes message latencies over the tiled topology.
+type NoC struct{}
+
+// New returns the network model.
+func New() *NoC { return &NoC{} }
+
+// CoreTile returns the tile (cluster) of a core.
+func CoreTile(core int) int { return core / CoresPerCluster }
+
+// BankTile returns the tile hosting an L2 bank; banks are distributed
+// round-robin over the tiles (4 banks per tile).
+func BankTile(bank int) int { return bank % Clusters }
+
+// MemTile returns the tile attaching a memory controller; controllers sit on
+// tiles 0, 3, 4 and 7 (the grid corners).
+func MemTile(ctrl int) int {
+	corners := [MemControllers]int{0, gridW - 1, gridW, 2*gridW - 1}
+	return corners[ctrl%MemControllers]
+}
+
+// BankOf returns the home L2 bank of a block (interleaved by block address).
+func BankOf(b mem.BlockAddr) int { return int(uint64(b) % L2Banks) }
+
+// CtrlOf returns the memory controller serving a block.
+func CtrlOf(b mem.BlockAddr) int { return int(uint64(b) % MemControllers) }
+
+// Hops returns the Manhattan distance between two tiles in the 4x2 grid.
+func Hops(fromTile, toTile int) int {
+	fx, fy := fromTile%gridW, fromTile/gridW
+	tx, ty := toTile%gridW, toTile/gridW
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the network traversal cost of a message of payloadBytes
+// between two tiles. Control messages (payloadBytes == 0) are a single head
+// flit; data messages add serialization flits. Metastate piggybacks on data
+// and ack messages as extra payload bits and is charged no extra flits —
+// this is the paper's "add message payloads, don't change the protocol"
+// design point.
+func (n *NoC) Latency(fromTile, toTile, payloadBytes int) mem.Cycle {
+	hops := Hops(fromTile, toTile)
+	lat := mem.Cycle(hops) * HopCycles
+	if payloadBytes > 0 {
+		flits := (payloadBytes + LinkBytes - 1) / LinkBytes
+		lat += mem.Cycle(flits) * FlitCycles
+	}
+	return lat
+}
+
+// CoreToBank is the latency of a request message from a core to a bank.
+func (n *NoC) CoreToBank(core, bank, payloadBytes int) mem.Cycle {
+	return n.Latency(CoreTile(core), BankTile(bank), payloadBytes)
+}
+
+// BankToCore is the latency of a response from a bank to a core.
+func (n *NoC) BankToCore(bank, core, payloadBytes int) mem.Cycle {
+	return n.Latency(BankTile(bank), CoreTile(core), payloadBytes)
+}
+
+// CoreToCore is the latency of a forwarded message (e.g. owner-to-requester
+// data forward or an invalidation).
+func (n *NoC) CoreToCore(from, to, payloadBytes int) mem.Cycle {
+	return n.Latency(CoreTile(from), CoreTile(to), payloadBytes)
+}
+
+// BankToMem is the round-trip cost between an L2 bank and the memory
+// controller serving block b, excluding DRAM access time.
+func (n *NoC) BankToMem(bank int, b mem.BlockAddr, payloadBytes int) mem.Cycle {
+	return n.Latency(BankTile(bank), MemTile(CtrlOf(b)), payloadBytes)
+}

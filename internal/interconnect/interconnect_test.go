@@ -1,0 +1,94 @@
+package interconnect
+
+import (
+	"testing"
+
+	"tokentm/internal/mem"
+)
+
+func TestTopologyConstants(t *testing.T) {
+	if Cores != 32 || Clusters != 8 || CoresPerCluster != 4 {
+		t.Fatal("paper topology: 32 cores in 8 clusters of 4")
+	}
+	if L2Banks != 32 || MemControllers != 4 {
+		t.Fatal("paper topology: 32 L2 banks, 4 memory controllers")
+	}
+}
+
+func TestTileMapping(t *testing.T) {
+	for c := 0; c < Cores; c++ {
+		if tile := CoreTile(c); tile < 0 || tile >= Clusters {
+			t.Fatalf("core %d tile %d out of range", c, tile)
+		}
+	}
+	if CoreTile(0) != 0 || CoreTile(3) != 0 || CoreTile(4) != 1 || CoreTile(31) != 7 {
+		t.Fatal("core tile mapping")
+	}
+	for b := 0; b < L2Banks; b++ {
+		if tile := BankTile(b); tile < 0 || tile >= Clusters {
+			t.Fatalf("bank %d tile %d out of range", b, tile)
+		}
+	}
+	for m := 0; m < MemControllers; m++ {
+		if tile := MemTile(m); tile < 0 || tile >= Clusters {
+			t.Fatalf("memctrl %d tile %d out of range", m, tile)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1}, // directly below in the 4x2 grid
+		{0, 7, 4}, // opposite corner
+		{3, 4, 4},
+	}
+	for _, c := range cases {
+		if got := Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Hops(c.b, c.a); got != c.want {
+			t.Errorf("Hops not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestLatencyMonotonicity(t *testing.T) {
+	n := New()
+	// More hops cost more.
+	if n.Latency(0, 7, 0) <= n.Latency(0, 1, 0) {
+		t.Error("latency should grow with distance")
+	}
+	// Payload costs more than control.
+	if n.Latency(0, 3, 64) <= n.Latency(0, 3, 0) {
+		t.Error("data messages should cost more than control messages")
+	}
+	// Local messages are cheapest but data still serializes.
+	if n.Latency(2, 2, 0) != 0 {
+		t.Error("same-tile control message should be free of hop cost")
+	}
+	if n.Latency(2, 2, 64) != FlitCycles {
+		t.Error("same-tile data message costs serialization only")
+	}
+}
+
+func TestBlockInterleaving(t *testing.T) {
+	seen := map[int]bool{}
+	for b := 0; b < 256; b++ {
+		bank := BankOf(mem.BlockAddr(0x1000 + b))
+		if bank < 0 || bank >= L2Banks {
+			t.Fatalf("bank out of range: %d", bank)
+		}
+		seen[bank] = true
+	}
+	if len(seen) != L2Banks {
+		t.Errorf("interleaving should touch all banks, got %d", len(seen))
+	}
+	for b := 0; b < 64; b++ {
+		if c := CtrlOf(mem.BlockAddr(b)); c < 0 || c >= MemControllers {
+			t.Fatalf("memctrl out of range: %d", c)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package lcs
+
+import (
+	"math"
+	"testing"
+)
+
+// paper holds Table 1's published values.
+var paper = map[string]struct {
+	avgMs, maxMs, pct float64
+}{
+	"AOLServer":  {0.1, 0.7, 0.1},
+	"Apache":     {49.6, 70.5, 1.4},
+	"BerkeleyDB": {0.1, 0.2, 0.01},
+	"BIND":       {0.2, 1.8, 2.2},
+}
+
+func TestModelsCoverTable1(t *testing.T) {
+	ms := Models()
+	if len(ms) != 4 {
+		t.Fatalf("want 4 models, got %d", len(ms))
+	}
+	for _, m := range ms {
+		if _, ok := paper[m.Name]; !ok {
+			t.Errorf("unexpected model %q", m.Name)
+		}
+		if m.Activity == "" {
+			t.Errorf("%s: missing blocking-activity description", m.Name)
+		}
+	}
+}
+
+// TestCalibration: each model's probe measurements land near the paper's
+// row (loose tolerances; these are synthetic substitutes).
+func TestCalibration(t *testing.T) {
+	for _, r := range Table1(1) {
+		want := paper[r.Name]
+		if r.Events < 10 {
+			t.Errorf("%s: too few LCS events (%d) for stable statistics", r.Name, r.Events)
+		}
+		if rel(r.AvgMs, want.avgMs) > 0.5 {
+			t.Errorf("%s: avg %.2f ms vs paper %.2f ms", r.Name, r.AvgMs, want.avgMs)
+		}
+		if rel(r.MaxMs, want.maxMs) > 0.5 {
+			t.Errorf("%s: max %.2f ms vs paper %.2f ms", r.Name, r.MaxMs, want.maxMs)
+		}
+		if rel(r.PctTime, want.pct) > 0.6 {
+			t.Errorf("%s: pct %.3f%% vs paper %.2f%%", r.Name, r.PctTime, want.pct)
+		}
+	}
+}
+
+// TestOrderingMatchesPaper: the qualitative story — Apache and BIND spend
+// significant time in LCS; AOLServer and BerkeleyDB have many short ones.
+func TestOrderingMatchesPaper(t *testing.T) {
+	rows := map[string]Report{}
+	for _, r := range Table1(2) {
+		rows[r.Name] = r
+	}
+	if rows["Apache"].AvgMs < 10*rows["BIND"].AvgMs {
+		t.Error("Apache's fork-under-lock sections should dwarf BIND's")
+	}
+	if rows["BIND"].PctTime < rows["BerkeleyDB"].PctTime {
+		t.Error("BIND should spend a larger share of time in LCS than BerkeleyDB")
+	}
+	if rows["AOLServer"].MaxMs <= rows["AOLServer"].AvgMs {
+		t.Error("AOLServer should have a duration tail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(Models()[0], 7)
+	b := Run(Models()[0], 7)
+	if a != b {
+		t.Fatalf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+}
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

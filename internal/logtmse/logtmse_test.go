@@ -1,0 +1,231 @@
+package logtmse
+
+import (
+	"testing"
+
+	"tokentm/internal/coherence"
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+	"tokentm/internal/sig"
+	"tokentm/internal/tmlog"
+)
+
+type rig struct {
+	t  *testing.T
+	ms *coherence.MemSys
+	st *mem.Store
+	se *LogTMSE
+	n  int
+}
+
+func newRig(t *testing.T, kind sig.Kind) *rig {
+	ms := coherence.NewMemSys(4)
+	st := mem.NewStore()
+	return &rig{t: t, ms: ms, st: st, se: New(ms, st, kind, 8)}
+}
+
+func (r *rig) thread(core int) *htm.Thread {
+	th := &htm.Thread{
+		ID:   r.n,
+		TID:  mem.TID(r.n + 1),
+		Core: core,
+		Log:  tmlog.New(mem.Addr(1<<40) + mem.Addr(r.n)<<24),
+	}
+	r.n++
+	r.se.Register(th)
+	return th
+}
+
+func (r *rig) begin(th *htm.Thread, ts mem.Cycle) {
+	x := &htm.Xact{TID: th.TID, Core: th.Core, Timestamp: ts}
+	x.Reset()
+	x.Attempts = 1
+	th.Xact = x
+	r.se.Begin(th, ts)
+}
+
+const (
+	blkA mem.Addr = 0x1000
+	blkB mem.Addr = 0x2000
+)
+
+func TestNameAndStats(t *testing.T) {
+	r := newRig(t, sig.Kind4xH3)
+	if r.se.Name() != "LogTM-SE_4xH3" {
+		t.Fatalf("name: %s", r.se.Name())
+	}
+	if r.se.Stats() == nil {
+		t.Fatal("stats")
+	}
+	if r.se.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestReadWriteConflicts(t *testing.T) {
+	r := newRig(t, sig.KindPerfect)
+	w := r.thread(0)
+	rd := r.thread(1)
+
+	r.begin(w, 1)
+	if acc := r.se.Store(w, blkA, 5, 0); acc.Outcome != htm.OK {
+		t.Fatalf("store: %+v", acc)
+	}
+
+	// Reader vs writer.
+	r.begin(rd, 2)
+	if _, acc := r.se.Load(rd, blkA, 0); acc.Outcome == htm.OK {
+		t.Fatal("read of written block must conflict")
+	} else if acc.False {
+		t.Fatal("real conflict misclassified as false positive")
+	}
+	// Read-read sharing is fine.
+	if _, acc := r.se.Load(rd, blkB, 0); acc.Outcome != htm.OK {
+		t.Fatalf("independent read: %+v", acc)
+	}
+	// Writer vs reader.
+	if acc := r.se.Store(w, blkB, 1, 0); acc.Outcome == htm.OK {
+		t.Fatal("write of read block must conflict")
+	}
+
+	r.se.Abort(rd)
+	rd.Xact = nil
+	if acc := r.se.Store(w, blkB, 1, 0); acc.Outcome != htm.OK {
+		t.Fatalf("store after enemy abort: %+v", acc)
+	}
+	r.se.Commit(w)
+}
+
+func TestVersionManagement(t *testing.T) {
+	r := newRig(t, sig.KindPerfect)
+	x := r.thread(0)
+	r.st.StoreWord(blkA, 7)
+
+	r.begin(x, 1)
+	r.se.Store(x, blkA, 99, 0)
+	if r.st.Load(blkA) != 99 {
+		t.Fatal("eager version management writes in place")
+	}
+	lat := r.se.Abort(x)
+	if lat == 0 {
+		t.Fatal("abort walk must take time")
+	}
+	if r.st.Load(blkA) != 7 {
+		t.Fatalf("abort restore: %d", r.st.Load(blkA))
+	}
+	if x.Log.Len() != 0 {
+		t.Fatal("log not reset after abort")
+	}
+}
+
+func TestCommitIsConstantTime(t *testing.T) {
+	r := newRig(t, sig.Kind2xH3)
+	x := r.thread(0)
+	r.begin(x, 1)
+	for i := 0; i < 50; i++ {
+		r.se.Store(x, blkA+mem.Addr(i*mem.BlockBytes), 1, 0)
+	}
+	lat, fast := r.se.Commit(x)
+	if !fast || lat != htm.FastCommitCycles {
+		t.Fatalf("LogTM-SE commits are constant time: lat=%d fast=%v", lat, fast)
+	}
+	// Signatures are clear: a new writer does not conflict.
+	x.Xact = nil
+	y := r.thread(1)
+	r.begin(y, 2)
+	if acc := r.se.Store(y, blkA, 2, 0); acc.Outcome != htm.OK {
+		t.Fatalf("stale signature after commit: %+v", acc)
+	}
+}
+
+// TestFalsePositiveClassification: with Bloom signatures, a conflict on an
+// address the enemy never touched is flagged False.
+func TestFalsePositiveClassification(t *testing.T) {
+	r := newRig(t, sig.Kind2xH3)
+	a := r.thread(0)
+	b := r.thread(1)
+	r.begin(a, 1)
+	// Saturate a's write signature.
+	for i := 0; i < 1500; i++ {
+		r.se.Store(a, mem.Addr(0x100000+i*mem.BlockBytes), 1, 0)
+	}
+	r.begin(b, 2)
+	sawFalse := false
+	for i := 0; i < 200 && !sawFalse; i++ {
+		_, acc := r.se.Load(b, mem.Addr(0x9000000+i*mem.BlockBytes), 0)
+		if acc.Outcome != htm.OK && acc.False {
+			sawFalse = true
+		}
+	}
+	if !sawFalse {
+		t.Fatal("saturated 2xH3 signature should produce false positives")
+	}
+	if r.se.Metrics.FalseConflicts == 0 {
+		t.Fatal("false conflicts not counted")
+	}
+	ro, wo := r.se.SigOccupancy(a.TID)
+	if wo == 0 {
+		t.Fatalf("write signature occupancy: %f %f", ro, wo)
+	}
+}
+
+func TestPerfectNeverFalse(t *testing.T) {
+	r := newRig(t, sig.KindPerfect)
+	a := r.thread(0)
+	b := r.thread(1)
+	r.begin(a, 1)
+	for i := 0; i < 500; i++ {
+		r.se.Store(a, mem.Addr(0x100000+i*mem.BlockBytes), 1, 0)
+	}
+	r.begin(b, 2)
+	for i := 0; i < 500; i++ {
+		if _, acc := r.se.Load(b, mem.Addr(0x9000000+i*mem.BlockBytes), 0); acc.Outcome != htm.OK {
+			t.Fatal("perfect signatures must not alias")
+		}
+	}
+}
+
+func TestStrongAtomicity(t *testing.T) {
+	r := newRig(t, sig.KindPerfect)
+	x := r.thread(0)
+	other := r.thread(1)
+	r.begin(x, 1)
+	r.se.Store(x, blkA, 5, 0)
+	// Non-transactional read of transactionally written block conflicts.
+	if _, acc := r.se.Load(other, blkA, 0); acc.Outcome == htm.OK {
+		t.Fatal("nonxact read vs writer must conflict")
+	}
+	// Non-transactional write of transactionally read block conflicts.
+	r.se.Load(x, blkB, 0)
+	if acc := r.se.Store(other, blkB, 1, 0); acc.Outcome == htm.OK {
+		t.Fatal("nonxact write vs reader must conflict")
+	}
+	r.se.Commit(x)
+	x.Xact = nil
+	if _, acc := r.se.Load(other, blkA, 0); acc.Outcome != htm.OK {
+		t.Fatalf("nonxact read after commit: %+v", acc)
+	}
+}
+
+func TestAbortRequestedHonored(t *testing.T) {
+	r := newRig(t, sig.KindPerfect)
+	x := r.thread(0)
+	r.begin(x, 1)
+	x.Xact.AbortRequested = true
+	if _, acc := r.se.Load(x, blkA, 0); acc.Outcome != htm.AbortSelf {
+		t.Fatalf("load with abort requested: %+v", acc)
+	}
+	if acc := r.se.Store(x, blkA, 1, 0); acc.Outcome != htm.AbortSelf {
+		t.Fatalf("store with abort requested: %+v", acc)
+	}
+}
+
+func TestContextSwitchIsCheap(t *testing.T) {
+	r := newRig(t, sig.Kind2xH3)
+	if lat := r.se.ContextSwitch(0, nil, nil); lat != htm.CtxSwitchCycles {
+		t.Fatalf("context switch latency: %d", lat)
+	}
+	if ro, wo := r.se.SigOccupancy(99); ro != 0 || wo != 0 {
+		t.Fatal("unknown TID occupancy should be zero")
+	}
+}

@@ -1,0 +1,304 @@
+package metastate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokentm/internal/mem"
+)
+
+// TestL1Table4b checks every row of Table 4b: logical metastate vs in-cache
+// bit patterns, with thread X on the local core.
+func TestL1Table4b(t *testing.T) {
+	const u = 5
+	cases := []struct {
+		l    L1Meta
+		want Meta
+	}{
+		{L1Zero, Zero},
+		{L1Meta{R: true, RPlus: true, Attr: u - 1}, Anon(u)},
+		{L1Meta{RPlus: true, Attr: u}, Anon(u)},
+		{L1Meta{R: true, Attr: uint16(tidX)}, Read1(tidX)},
+		{L1Meta{Rp: true, Attr: uint16(tidY)}, Read1(tidY)},
+		{L1Meta{W: true, Attr: uint16(tidX)}, WriteT(tidX)},
+		{L1Meta{Wp: true, Attr: uint16(tidY)}, WriteT(tidY)},
+	}
+	for _, c := range cases {
+		if !c.l.Valid() {
+			t.Errorf("%v should be valid", c.l)
+		}
+		if got := c.l.Logical(); got != c.want {
+			t.Errorf("%v Logical = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestL1Validity(t *testing.T) {
+	invalid := []L1Meta{
+		{R: true, W: true},
+		{W: true, RPlus: true},
+		{W: true, Wp: true},
+		{Wp: true, R: true},
+		{R: true, Rp: true},
+	}
+	for _, l := range invalid {
+		if l.Valid() {
+			t.Errorf("%v should be invalid", l)
+		}
+	}
+	// R' and R+ simultaneously set is explicitly allowed (transiently,
+	// after a context switch).
+	if !(L1Meta{Rp: true, RPlus: true, Attr: 2}).Valid() {
+		t.Error("R'+R+ combination should be valid")
+	}
+}
+
+func TestL1FromMeta(t *testing.T) {
+	cases := []struct {
+		m    Meta
+		cur  mem.TID
+		want L1Meta
+	}{
+		{Zero, tidX, L1Zero},
+		{WriteT(tidX), tidX, L1Meta{W: true, Attr: uint16(tidX)}},
+		{WriteT(tidY), tidX, L1Meta{Wp: true, Attr: uint16(tidY)}},
+		{Read1(tidX), tidX, L1Meta{R: true, Attr: uint16(tidX)}},
+		{Read1(tidY), tidX, L1Meta{Rp: true, Attr: uint16(tidY)}},
+		{Anon(7), tidX, L1Meta{RPlus: true, Attr: 7}},
+	}
+	for _, c := range cases {
+		got, err := L1FromMeta(c.m, c.cur)
+		if err != nil || got != c.want {
+			t.Errorf("L1FromMeta(%v, X%d) = %v, %v; want %v", c.m, c.cur, got, err, c.want)
+		}
+	}
+	if _, err := L1FromMeta(Anon(maxPackedCount+1), tidX); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+// TestFigure4FastRelease walks the paper's Figure 4 example: thread TID 42
+// reads block A, writes block B, then fast-releases both with a flash clear.
+func TestFigure4FastRelease(t *testing.T) {
+	const tid42 mem.TID = 42
+	a, b := L1Zero, L1Zero
+
+	// (b) add A to the read set: R=1, Attr=42 -> logically (1,42).
+	res := a.AcquireRead(tid42)
+	if !res.OK || res.TokensAcquired != 1 {
+		t.Fatalf("read A: %+v", res)
+	}
+	if a.Logical() != Read1(tid42) || !a.R || a.Attr != 42 {
+		t.Fatalf("A after read: %v", a)
+	}
+
+	// (c) add B to the write set: W=1, Attr=42 -> logically (T,42).
+	res = b.AcquireWrite(tid42)
+	if !res.OK || res.TokensAcquired != T {
+		t.Fatalf("write B: %+v", res)
+	}
+	if b.Logical() != WriteT(tid42) || !b.W || b.Attr != 42 {
+		t.Fatalf("B after write: %v", b)
+	}
+
+	// (d) fast token release: flash clear R and W; both blocks return to
+	// metastate (0,-).
+	a.FlashClearRW()
+	b.FlashClearRW()
+	if a.Logical() != Zero || b.Logical() != Zero {
+		t.Fatalf("after flash clear: A=%v B=%v", a.Logical(), b.Logical())
+	}
+}
+
+// TestContextSwitchFlashOR verifies the flash-OR context switch and the
+// R'-refusion rules (§4.4).
+func TestContextSwitchFlashOR(t *testing.T) {
+	// Thread X acquires a read token, then is context switched.
+	l := L1Zero
+	l.AcquireRead(tidX)
+	l.FlashOR()
+	if l.R || !l.Rp || l.Logical() != Read1(tidX) {
+		t.Fatalf("after flash-OR: %v (logical %v)", l, l.Logical())
+	}
+
+	// Rule (i): the same thread X resumes and reads again; its own token
+	// is reclaimed without a new acquisition.
+	same := l
+	res := same.AcquireRead(tidX)
+	if !res.OK || res.TokensAcquired != 0 || !same.R || same.Rp {
+		t.Fatalf("rule (i): %+v %v", res, same)
+	}
+	if same.Logical() != Read1(tidX) {
+		t.Fatalf("rule (i) logical: %v", same.Logical())
+	}
+
+	// Rule (ii): a different thread Y reads; X's token is folded into an
+	// anonymous count and Y acquires its own.
+	other := l
+	res = other.AcquireRead(tidY)
+	if !res.OK || res.TokensAcquired != 1 {
+		t.Fatalf("rule (ii): %+v", res)
+	}
+	if !other.R || other.Rp || !other.RPlus || other.Attr != 1 {
+		t.Fatalf("rule (ii) bits: %v", other)
+	}
+	if other.Logical() != Anon(2) {
+		t.Fatalf("rule (ii) logical: %v", other.Logical())
+	}
+
+	// Writes: W survives a flash-OR as W' and conflicts with others.
+	w := L1Zero
+	w.AcquireWrite(tidX)
+	w.FlashOR()
+	if !w.Wp || w.W || w.Logical() != WriteT(tidX) {
+		t.Fatalf("W flash-OR: %v", w)
+	}
+	wSame := w
+	if res := wSame.AcquireWrite(tidX); !res.OK || res.TokensAcquired != 0 || !wSame.W {
+		t.Fatalf("W' refusion by owner: %+v %v", res, wSame)
+	}
+	wOther := w
+	if res := wOther.AcquireWrite(tidY); res.OK || res.ConflictWith != WriteT(tidX) {
+		t.Fatalf("W' conflict: %+v", res)
+	}
+	if res := wOther.AcquireRead(tidY); res.OK || res.ConflictWith != WriteT(tidX) {
+		t.Fatalf("W' read conflict: %+v", res)
+	}
+}
+
+// TestPostSwitchAnonymousFold exercises the transient R'+R+ combination: a
+// context switch while the line already carried an anonymous count.
+func TestPostSwitchAnonymousFold(t *testing.T) {
+	// Line holds (u,-) with one token mine: R=1, R+=1, Attr=u-1 (u=3).
+	l := L1Meta{R: true, RPlus: true, Attr: 2}
+	l.FlashOR()
+	if !l.Rp || !l.RPlus || l.Logical() != Anon(3) {
+		t.Fatalf("after switch: %v logical %v", l, l.Logical())
+	}
+	// Next reader folds R' into the count and acquires: total 4.
+	res := l.AcquireRead(tidY)
+	if !res.OK || res.TokensAcquired != 1 || l.Logical() != Anon(4) {
+		t.Fatalf("fold: %+v %v", res, l.Logical())
+	}
+}
+
+// TestAcquireConflicts covers the conflict rows for reads and writes.
+func TestAcquireConflicts(t *testing.T) {
+	// Writer vs anonymous readers.
+	l := L1Meta{RPlus: true, Attr: 2}
+	if res := l.AcquireWrite(tidX); res.OK || res.ConflictWith != Anon(2) {
+		t.Errorf("write vs (2,-): %+v", res)
+	}
+	// Writer vs identified reader.
+	l = L1Meta{Rp: true, Attr: uint16(tidY)}
+	if res := l.AcquireWrite(tidX); res.OK || res.ConflictWith != Read1(tidY) {
+		t.Errorf("write vs (1,Y): %+v", res)
+	}
+	// Reader vs writer.
+	l = L1Meta{Wp: true, Attr: uint16(tidY)}
+	if res := l.AcquireRead(tidX); res.OK || res.ConflictWith != WriteT(tidY) {
+		t.Errorf("read vs (T,Y): %+v", res)
+	}
+	// Read-to-write upgrade with coexisting readers conflicts.
+	l = L1Meta{R: true, RPlus: true, Attr: 1}
+	if res := l.AcquireWrite(tidX); res.OK {
+		t.Errorf("upgrade with other readers should conflict: %+v", res)
+	}
+}
+
+// TestUpgrade covers read-to-write upgrades acquiring the remaining T-1.
+func TestUpgrade(t *testing.T) {
+	l := L1Zero
+	l.AcquireRead(tidX)
+	res := l.AcquireWrite(tidX)
+	if !res.OK || res.TokensAcquired != T-1 || l.Logical() != WriteT(tidX) {
+		t.Fatalf("upgrade: %+v %v", res, l.Logical())
+	}
+	// Upgrade of a pre-context-switch own token.
+	l = L1Zero
+	l.AcquireRead(tidX)
+	l.FlashOR()
+	res = l.AcquireWrite(tidX)
+	if !res.OK || res.TokensAcquired != T-1 || l.Logical() != WriteT(tidX) {
+		t.Fatalf("upgrade post-switch: %+v %v", res, l.Logical())
+	}
+}
+
+// Property: any sequence of valid acquires by one thread keeps the line
+// metabits valid, and the logical sum equals tokens acquired (for a fresh
+// line touched only by that thread).
+func TestAcquireTokenAccounting(t *testing.T) {
+	f := func(ops []bool, tid uint16) bool {
+		cur := mem.TID(tid&uint16(mem.MaxTID)) | 1
+		l := L1Zero
+		var acquired uint32
+		for _, isWrite := range ops {
+			var res AcquireResult
+			if isWrite {
+				res = l.AcquireWrite(cur)
+			} else {
+				res = l.AcquireRead(cur)
+			}
+			if !res.OK {
+				return false
+			}
+			acquired += res.TokensAcquired
+			if !l.Valid() {
+				return false
+			}
+		}
+		return l.Logical().Sum == acquired
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flash-OR preserves the logical metastate.
+func TestFlashORPreservesLogical(t *testing.T) {
+	lines := []L1Meta{
+		L1Zero,
+		{R: true, Attr: uint16(tidX)},
+		{W: true, Attr: uint16(tidX)},
+		{Rp: true, Attr: uint16(tidY)},
+		{Wp: true, Attr: uint16(tidY)},
+		{RPlus: true, Attr: 4},
+		{R: true, RPlus: true, Attr: 3},
+	}
+	for _, l := range lines {
+		before := l.Logical()
+		l.FlashOR()
+		if got := l.Logical(); got != before {
+			t.Errorf("flash-OR changed logical metastate: %v -> %v", before, got)
+		}
+		if l.R || l.W {
+			t.Errorf("flash-OR left R/W set: %v", l)
+		}
+	}
+}
+
+// Property: flash clear releases exactly the current thread's tokens.
+func TestFlashClearReleasesOwnTokensOnly(t *testing.T) {
+	// Mine plus others' anonymous count: clearing R leaves the others.
+	l := L1Meta{R: true, RPlus: true, Attr: 3} // (4,-), one mine
+	l.FlashClearRW()
+	if l.Logical() != Anon(3) {
+		t.Errorf("flash clear: want (3,-), got %v", l.Logical())
+	}
+	// Others' R' token is untouched.
+	l = L1Meta{Rp: true, Attr: uint16(tidY)}
+	l.FlashClearRW()
+	if l.Logical() != Read1(tidY) {
+		t.Errorf("flash clear touched R': %v", l.Logical())
+	}
+}
+
+func TestL1String(t *testing.T) {
+	l := L1Meta{R: true, Attr: 42}
+	if got := l.String(); got != "[R attr=42]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := L1Zero.String(); got != "[0 attr=0]" {
+		t.Errorf("zero String = %q", got)
+	}
+}

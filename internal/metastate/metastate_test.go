@@ -1,0 +1,270 @@
+package metastate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokentm/internal/mem"
+)
+
+const (
+	tidX mem.TID = 7
+	tidY mem.TID = 11
+)
+
+func TestMetaConstructorsAndPredicates(t *testing.T) {
+	cases := []struct {
+		m                          Meta
+		zero, writer, ident, valid bool
+		str                        string
+	}{
+		{Zero, true, false, false, true, "(0,-)"},
+		{Read1(tidX), false, false, true, true, "(1,X7)"},
+		{WriteT(tidX), false, true, true, true, "(T,X7)"},
+		{Anon(4), false, false, false, true, "(u=4,-)"},
+		{Anon(1), false, false, false, true, "(u=1,-)"},
+		{Meta{Sum: 5, TID: tidX}, false, false, false, false, ""},
+		{Meta{Sum: T, TID: mem.NoTID}, false, true, false, false, ""},
+		{Meta{Sum: T + 1, TID: tidX}, false, false, false, false, ""},
+	}
+	for _, c := range cases {
+		if got := c.m.IsZero(); got != c.zero {
+			t.Errorf("%v IsZero = %v, want %v", c.m, got, c.zero)
+		}
+		if got := c.m.IsWriter(); got != c.writer {
+			t.Errorf("%v IsWriter = %v, want %v", c.m, got, c.writer)
+		}
+		if got := c.m.IsIdentified(); got != c.ident {
+			t.Errorf("%v IsIdentified = %v, want %v", c.m, got, c.ident)
+		}
+		if got := c.m.Valid(); got != c.valid {
+			t.Errorf("%v Valid = %v, want %v", c.m, got, c.valid)
+		}
+		if c.valid && c.m.String() != c.str {
+			t.Errorf("String = %q, want %q", c.m.String(), c.str)
+		}
+	}
+}
+
+// TestFissionTable3a checks every row of Table 3a.
+func TestFissionTable3a(t *testing.T) {
+	cases := []struct {
+		before, after, newCopy Meta
+	}{
+		{Anon(3), Anon(3), Zero},
+		{Anon(0), Anon(0), Zero},
+		{Read1(tidX), Read1(tidX), Zero},
+		{WriteT(tidX), WriteT(tidX), WriteT(tidX)},
+	}
+	for _, c := range cases {
+		kept, nc := Fission(c.before)
+		if kept != c.after || nc != c.newCopy {
+			t.Errorf("Fission(%v) = %v,%v; want %v,%v", c.before, kept, nc, c.after, c.newCopy)
+		}
+	}
+}
+
+// TestFusionTable3b checks every cell of Table 3b, including the error cells.
+func TestFusionTable3b(t *testing.T) {
+	cases := []struct {
+		a, b Meta
+		want Meta
+		err  bool
+	}{
+		// Row (v,-) with v=0 and v>0 against each column.
+		{Anon(0), Anon(0), Anon(0), false},
+		{Anon(2), Anon(3), Anon(5), false},
+		{Anon(0), Read1(tidY), Read1(tidY), false},
+		{Anon(2), Read1(tidY), Anon(3), false},
+		{Anon(0), WriteT(tidY), WriteT(tidY), false},
+		{Anon(2), WriteT(tidY), Zero, true},
+		// Row (1,X).
+		{Read1(tidX), Anon(0), Read1(tidX), false},
+		{Read1(tidX), Anon(4), Anon(5), false},
+		{Read1(tidX), Read1(tidY), Anon(2), false},
+		{Read1(tidX), WriteT(tidY), Zero, true},
+		// Row (T,X).
+		{WriteT(tidX), Anon(0), WriteT(tidX), false},
+		{WriteT(tidX), Anon(1), Zero, true},
+		{WriteT(tidX), Read1(tidY), Zero, true},
+		{WriteT(tidX), WriteT(tidX), WriteT(tidX), false},
+		{WriteT(tidX), WriteT(tidY), Zero, true},
+	}
+	for _, c := range cases {
+		got, err := Fuse(c.a, c.b)
+		if (err != nil) != c.err {
+			t.Errorf("Fuse(%v,%v) err = %v, want err=%v", c.a, c.b, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Fuse(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestTable2Transitions walks the common metastate transitions of Table 2.
+func TestTable2Transitions(t *testing.T) {
+	// Transaction Load: (0,-) -> (1,X).
+	line := L1Zero
+	res := line.AcquireRead(tidX)
+	if !res.OK || res.TokensAcquired != 1 || line.Logical() != Read1(tidX) {
+		t.Fatalf("load transition: %v %v", res, line.Logical())
+	}
+	// Release one token: (1,X) -> (0,-).
+	m, err := ReleaseOne(line.Logical())
+	if err != nil || m != Zero {
+		t.Fatalf("release one from (1,X): %v %v", m, err)
+	}
+	// Transaction Store: (0,-) -> (T,X).
+	line = L1Zero
+	res = line.AcquireWrite(tidX)
+	if !res.OK || res.TokensAcquired != T || line.Logical() != WriteT(tidX) {
+		t.Fatalf("store transition: %v %v", res, line.Logical())
+	}
+	// Release T tokens: (T,X) -> (0,-).
+	m, err = ReleaseWriter(line.Logical(), tidX)
+	if err != nil || m != Zero {
+		t.Fatalf("release writer: %v %v", m, err)
+	}
+	// Release one token from anonymous count: (v,-) -> (v-1,-).
+	m, err = ReleaseOne(Anon(3))
+	if err != nil || m != Anon(2) {
+		t.Fatalf("release one from (3,-): %v %v", m, err)
+	}
+	// Conflicting Load: (T,Y) stays (T,Y).
+	line, err = L1FromMeta(WriteT(tidY), tidX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = line.AcquireRead(tidX)
+	if res.OK || res.ConflictWith != WriteT(tidY) || line.Logical() != WriteT(tidY) {
+		t.Fatalf("conflicting load: %v %v", res, line.Logical())
+	}
+	// Conflicting Store against (v,-), v != 0.
+	line, err = L1FromMeta(Anon(2), tidX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = line.AcquireWrite(tidX)
+	if res.OK || line.Logical() != Anon(2) {
+		t.Fatalf("conflicting store vs readers: %v %v", res, line.Logical())
+	}
+	// Conflicting Store against (T,Y).
+	line, err = L1FromMeta(WriteT(tidY), tidX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = line.AcquireWrite(tidX)
+	if res.OK || res.ConflictWith != WriteT(tidY) {
+		t.Fatalf("conflicting store vs writer: %v", res)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	if _, err := ReleaseOne(Zero); err == nil {
+		t.Error("release from (0,-) should fail")
+	}
+	if _, err := ReleaseOne(WriteT(tidX)); err == nil {
+		t.Error("single release from writer should fail")
+	}
+	if _, err := ReleaseWriter(Read1(tidX), tidX); err == nil {
+		t.Error("writer release from reader state should fail")
+	}
+	if _, err := ReleaseWriter(WriteT(tidY), tidX); err == nil {
+		t.Error("writer release by non-owner should fail")
+	}
+}
+
+// Property: fission followed by fusion restores the original metastate.
+func TestFissionFusionRoundTrip(t *testing.T) {
+	f := func(sum uint16, tid uint16, writer bool) bool {
+		var m Meta
+		switch {
+		case writer:
+			m = WriteT(mem.TID(tid%uint16(mem.MaxTID)) + 1)
+		case sum%3 == 0:
+			m = Anon(uint32(sum % 1000))
+		case sum%3 == 1:
+			m = Read1(mem.TID(tid%uint16(mem.MaxTID)) + 1)
+		default:
+			m = Zero
+		}
+		kept, nc := Fission(m)
+		back, err := Fuse(kept, nc)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fusion of reader-side metastates conserves the token count.
+func TestFusionConservesReaderCounts(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ma, mb := Anon(uint32(a%1000)), Anon(uint32(b%1000))
+		got, err := Fuse(ma, mb)
+		return err == nil && got.Sum == ma.Sum+mb.Sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fusion is commutative (where defined).
+func TestFusionCommutative(t *testing.T) {
+	metas := []Meta{Zero, Anon(1), Anon(2), Anon(5), Read1(tidX), Read1(tidY), WriteT(tidX), WriteT(tidY)}
+	for _, a := range metas {
+		for _, b := range metas {
+			ab, errAB := Fuse(a, b)
+			ba, errBA := Fuse(b, a)
+			if (errAB != nil) != (errBA != nil) {
+				t.Errorf("Fuse(%v,%v) error asymmetry", a, b)
+				continue
+			}
+			if errAB == nil && ab != ba {
+				t.Errorf("Fuse(%v,%v)=%v but Fuse(%v,%v)=%v", a, b, ab, b, a, ba)
+			}
+		}
+	}
+}
+
+// Property: fusion is associative across random reader-side sequences.
+func TestFusionAssociativeReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		ms := make([]Meta, n)
+		for i := range ms {
+			if rng.Intn(2) == 0 {
+				ms[i] = Anon(uint32(rng.Intn(5)))
+			} else {
+				ms[i] = Read1(mem.TID(1 + rng.Intn(100)))
+			}
+		}
+		// Left fold.
+		left, err := FuseAll(ms...)
+		if err != nil {
+			t.Fatalf("left fold: %v", err)
+		}
+		// Right fold.
+		right := Zero
+		for i := n - 1; i >= 0; i-- {
+			right, err = Fuse(ms[i], right)
+			if err != nil {
+				t.Fatalf("right fold: %v", err)
+			}
+		}
+		// Identity can be lost ((1,X) vs (1,-)) only if total == 1 and
+		// exactly one identified reader; counts must always agree.
+		if left.Sum != right.Sum {
+			t.Fatalf("fold sums differ: %v vs %v over %v", left, right, ms)
+		}
+	}
+}
+
+func TestFuseAllError(t *testing.T) {
+	if _, err := FuseAll(Read1(tidX), WriteT(tidY)); err == nil {
+		t.Error("expected fusion error")
+	}
+}

@@ -1,0 +1,136 @@
+package metastate
+
+import (
+	"fmt"
+
+	"tokentm/internal/mem"
+)
+
+// Packed is the in-memory representation of a block's metastate: 16
+// "metabits" per 64-byte block (Table 4a). The top two bits encode the
+// state, the low 14 bits the attribute:
+//
+//	Metastate    State   Attr
+//	(u,-)        00      u       (anonymous reader count)
+//	(1,X)        01      X       (identified single reader)
+//	(T,X)        10      X       (identified writer)
+//	overflow     11      -       (count maintained by software, §4.3)
+//
+// The overflow state implements the paper's LimitLESS-style escape for the
+// rare case of more concurrent readers than the 14-bit count can represent;
+// the true count then lives in a software OverflowTable.
+type Packed uint16
+
+// Packed state field values.
+const (
+	stateAnon     = 0 // (u,-)
+	stateRead1    = 1 // (1,X)
+	stateWriteT   = 2 // (T,X)
+	stateOverflow = 3 // software-maintained count
+)
+
+// attrMask selects the 14-bit attribute field.
+const attrMask = 1<<14 - 1
+
+// maxPackedCount is the largest anonymous count representable in Attr.
+const maxPackedCount = attrMask
+
+// PackedZero is the packed form of (0,-).
+const PackedZero Packed = 0
+
+func packedOf(state uint16, attr uint16) Packed {
+	return Packed(state<<14 | attr&attrMask)
+}
+
+// State returns the 2-bit state field.
+func (p Packed) State() uint16 { return uint16(p) >> 14 }
+
+// Attr returns the 14-bit attribute field.
+func (p Packed) Attr() uint16 { return uint16(p) & attrMask }
+
+// IsOverflow reports whether the count lives in a software table.
+func (p Packed) IsOverflow() bool { return p.State() == stateOverflow }
+
+// Pack encodes m into 16 metabits. If the anonymous count exceeds the 14-bit
+// field, Pack returns the overflow encoding and overflow=true; the caller
+// must then record the true count in an OverflowTable.
+func Pack(m Meta) (p Packed, overflow bool) {
+	switch {
+	case m.Sum == 0:
+		return PackedZero, false
+	case m.IsWriter():
+		return packedOf(stateWriteT, uint16(m.TID)), false
+	case m.Sum == 1 && m.TID != mem.NoTID:
+		return packedOf(stateRead1, uint16(m.TID)), false
+	case m.Sum <= maxPackedCount:
+		return packedOf(stateAnon, uint16(m.Sum)), false
+	default:
+		return packedOf(stateOverflow, 0), true
+	}
+}
+
+// Unpack decodes 16 metabits into a logical metastate. For the overflow
+// encoding the caller supplies the software-maintained count via table
+// (may be nil only if p is not overflow).
+func Unpack(p Packed, table *OverflowTable, b mem.BlockAddr) (Meta, error) {
+	switch p.State() {
+	case stateAnon:
+		return Anon(uint32(p.Attr())), nil
+	case stateRead1:
+		return Read1(mem.TID(p.Attr())), nil
+	case stateWriteT:
+		return WriteT(mem.TID(p.Attr())), nil
+	default: // stateOverflow
+		if table == nil {
+			return Zero, fmt.Errorf("metastate: overflow encoding for %v with no software table", b)
+		}
+		n, ok := table.Count(b)
+		if !ok {
+			return Zero, fmt.Errorf("metastate: overflow encoding for %v missing from software table", b)
+		}
+		return Anon(n), nil
+	}
+}
+
+// OverflowTable is the software side of the LimitLESS-style overflow scheme:
+// when a block's anonymous reader count exceeds the 14-bit hardware field,
+// the hardware switches the block to the overflow state and software keeps
+// the exact count here.
+type OverflowTable struct {
+	counts map[mem.BlockAddr]uint32
+}
+
+// NewOverflowTable returns an empty overflow table.
+func NewOverflowTable() *OverflowTable {
+	return &OverflowTable{counts: make(map[mem.BlockAddr]uint32)}
+}
+
+// Count returns the software-maintained count for block b.
+func (t *OverflowTable) Count(b mem.BlockAddr) (uint32, bool) {
+	n, ok := t.counts[b]
+	return n, ok
+}
+
+// Set records the count for block b; a zero count removes the entry.
+func (t *OverflowTable) Set(b mem.BlockAddr, n uint32) {
+	if n == 0 {
+		delete(t.counts, b)
+		return
+	}
+	t.counts[b] = n
+}
+
+// Len returns the number of overflowed blocks.
+func (t *OverflowTable) Len() int { return len(t.counts) }
+
+// PackInto packs m for block b, spilling to the overflow table when needed
+// and cleaning up a previous overflow entry when no longer needed.
+func (t *OverflowTable) PackInto(b mem.BlockAddr, m Meta) Packed {
+	p, over := Pack(m)
+	if over {
+		t.Set(b, m.Sum)
+	} else {
+		t.Set(b, 0)
+	}
+	return p
+}

@@ -1,0 +1,102 @@
+package metastate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokentm/internal/mem"
+)
+
+// TestPackTable4a checks the in-memory encoding rows of Table 4a.
+func TestPackTable4a(t *testing.T) {
+	cases := []struct {
+		m     Meta
+		state uint16
+		attr  uint16
+	}{
+		{Anon(5), stateAnon, 5},
+		{Zero, stateAnon, 0},
+		{Read1(tidX), stateRead1, uint16(tidX)},
+		{WriteT(tidY), stateWriteT, uint16(tidY)},
+	}
+	for _, c := range cases {
+		p, over := Pack(c.m)
+		if over {
+			t.Errorf("Pack(%v) unexpectedly overflowed", c.m)
+		}
+		if p.State() != c.state || p.Attr() != c.attr {
+			t.Errorf("Pack(%v) = state %d attr %d, want %d %d", c.m, p.State(), p.Attr(), c.state, c.attr)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(kind uint8, sum uint16, tid uint16) bool {
+		var m Meta
+		switch kind % 4 {
+		case 0:
+			m = Zero
+		case 1:
+			m = Anon(uint32(sum % maxPackedCount))
+		case 2:
+			m = Read1(mem.TID(tid&uint16(mem.MaxTID)) | 1)
+		case 3:
+			m = WriteT(mem.TID(tid&uint16(mem.MaxTID)) | 1)
+		}
+		p, over := Pack(m)
+		if over {
+			return false
+		}
+		got, err := Unpack(p, nil, 0)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverflowLimitless exercises the LimitLESS-style software count path.
+func TestOverflowLimitless(t *testing.T) {
+	const b mem.BlockAddr = 0x1234
+	big := Anon(maxPackedCount + 10)
+	p, over := Pack(big)
+	if !over || !p.IsOverflow() {
+		t.Fatalf("Pack(%v) should overflow, got %v over=%v", big, p, over)
+	}
+
+	tab := NewOverflowTable()
+	p = tab.PackInto(b, big)
+	if !p.IsOverflow() || tab.Len() != 1 {
+		t.Fatalf("PackInto should record overflow: %v len=%d", p, tab.Len())
+	}
+	got, err := Unpack(p, tab, b)
+	if err != nil || got != big {
+		t.Fatalf("Unpack overflow = %v, %v", got, err)
+	}
+
+	// Shrinking the count back under the limit cleans up the table.
+	p = tab.PackInto(b, Anon(3))
+	if p.IsOverflow() || tab.Len() != 0 {
+		t.Fatalf("PackInto small should clean up: %v len=%d", p, tab.Len())
+	}
+
+	// Unpacking an overflow encoding without a table entry is an error.
+	if _, err := Unpack(packedOf(stateOverflow, 0), tab, b); err == nil {
+		t.Error("expected error for missing overflow entry")
+	}
+	if _, err := Unpack(packedOf(stateOverflow, 0), nil, b); err == nil {
+		t.Error("expected error for nil overflow table")
+	}
+}
+
+func TestPackedIsSixteenBits(t *testing.T) {
+	// The whole point of the S3.mp encoding is that the metastate fits in
+	// 16 bits per 64-byte block; make sure the representation stays there.
+	p, _ := Pack(WriteT(mem.MaxTID))
+	if uint32(p)>>16 != 0 {
+		t.Errorf("packed metastate exceeds 16 bits: %#x", p)
+	}
+	if Packed(0xffff).Attr() != attrMask {
+		t.Errorf("attr mask wrong")
+	}
+}

@@ -1,0 +1,113 @@
+// Package plot renders the evaluation's figures as ASCII bar charts, so
+// cmd/experiments can regenerate Figure 1 and Figure 5 as figures, not just
+// tables. Bars carry 95% confidence whiskers when available.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one bar group member (an HTM variant in Figures 1/5).
+type Series struct {
+	Name string
+}
+
+// Bar is one measured value with an optional confidence half-width.
+type Bar struct {
+	Value float64
+	CI    float64
+}
+
+// BarChart is a grouped horizontal bar chart: one group per benchmark, one
+// bar per series.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Series []Series
+	Groups []string
+	// Bars[g][s] is the bar for group g, series s.
+	Bars [][]Bar
+	// Width is the maximum bar length in characters (default 50).
+	Width int
+	// Reference draws a vertical guide at this value (e.g. 1.0 for
+	// speedups normalized to a baseline); 0 disables it.
+	Reference float64
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := c.Reference
+	for _, g := range c.Bars {
+		for _, b := range g {
+			if v := b.Value + b.CI; v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	scale := float64(width) / maxVal
+
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+		fmt.Fprintln(w, strings.Repeat("=", len(c.Title)))
+	}
+	refCol := -1
+	if c.Reference > 0 {
+		refCol = int(c.Reference*scale + 0.5)
+	}
+	for gi, group := range c.Groups {
+		fmt.Fprintf(w, "%s\n", group)
+		for si, s := range c.Series {
+			if gi >= len(c.Bars) || si >= len(c.Bars[gi]) {
+				continue
+			}
+			b := c.Bars[gi][si]
+			fmt.Fprintf(w, "  %-*s |%s %.3f%s\n", nameW, s.Name, renderBar(b, scale, width, refCol), b.Value, renderCI(b))
+		}
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(w, "(%s; '|' marks %.2g)\n", c.YLabel, c.Reference)
+	}
+}
+
+// renderBar draws one bar with an optional reference tick.
+func renderBar(b Bar, scale float64, width, refCol int) string {
+	n := int(b.Value*scale + 0.5)
+	if n > width {
+		n = width
+	}
+	row := make([]byte, width+1)
+	for i := range row {
+		switch {
+		case i < n:
+			row[i] = '#'
+		case i == refCol && refCol >= n:
+			row[i] = '|'
+		default:
+			row[i] = ' '
+		}
+	}
+	return string(row)
+}
+
+func renderCI(b Bar) string {
+	if b.CI <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" ±%.3f", b.CI)
+}

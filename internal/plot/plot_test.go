@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chart() *BarChart {
+	return &BarChart{
+		Title:     "Figure X",
+		YLabel:    "speedup vs baseline",
+		Series:    []Series{{Name: "TokenTM"}, {Name: "LogTM-SE_2xH3"}},
+		Groups:    []string{"Delaunay", "Genome"},
+		Bars:      [][]Bar{{{Value: 1.0, CI: 0.1}, {Value: 0.2}}, {{Value: 0.95}, {Value: 0.8, CI: 0.05}}},
+		Width:     20,
+		Reference: 1.0,
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	chart().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure X", "Delaunay", "Genome", "TokenTM", "LogTM-SE_2xH3", "±0.100", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarLengthsScale(t *testing.T) {
+	var buf bytes.Buffer
+	chart().Render(&buf)
+	lines := strings.Split(buf.String(), "\n")
+	var full, small string
+	for _, l := range lines {
+		if strings.Contains(l, "TokenTM") && strings.Contains(l, "1.000") {
+			full = l
+		}
+		if strings.Contains(l, "2xH3") && strings.Contains(l, "0.200") {
+			small = l
+		}
+	}
+	if full == "" || small == "" {
+		t.Fatalf("bars not found:\n%s", buf.String())
+	}
+	if strings.Count(full, "#") <= strings.Count(small, "#") {
+		t.Fatal("bigger value must draw a longer bar")
+	}
+}
+
+func TestReferenceGuide(t *testing.T) {
+	var buf bytes.Buffer
+	chart().Render(&buf)
+	if !strings.Contains(buf.String(), "|") {
+		t.Fatal("reference guide missing")
+	}
+}
+
+func TestDegenerateChart(t *testing.T) {
+	c := &BarChart{Groups: []string{"g"}, Series: []Series{{Name: "s"}}, Bars: [][]Bar{{{Value: 0}}}}
+	var buf bytes.Buffer
+	c.Render(&buf) // must not panic or divide by zero
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestClampOverflowBar(t *testing.T) {
+	c := &BarChart{
+		Groups:    []string{"g"},
+		Series:    []Series{{Name: "a"}, {Name: "b"}},
+		Bars:      [][]Bar{{{Value: 5}, {Value: 1}}},
+		Width:     10,
+		Reference: 1,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if n := strings.Count(l, "#"); n > 11 {
+			t.Fatalf("bar exceeds width: %q", l)
+		}
+	}
+}

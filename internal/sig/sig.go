@@ -1,0 +1,201 @@
+// Package sig implements the read/write-set signatures used by the
+// LogTM-SE baseline HTM systems (paper §2.2, Figure 1).
+//
+// A signature is a Bloom filter summarizing the set of blocks a transaction
+// has read or written. LogTM-SE tests incoming coherence requests against
+// these signatures; because Bloom filters admit false positives, unrelated
+// transactions can be serialized, which is exactly the pathology TokenTM's
+// precise tokens eliminate. Following Sanchez et al. (cited by the paper as
+// the best-performing designs), the implementable variants use a single
+// 2 Kbit SRAM array indexed by k parallel H3 hash functions.
+package sig
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"tokentm/internal/mem"
+)
+
+// DefaultBits is the paper's signature size: 2 Kbit.
+const DefaultBits = 2048
+
+// Signature summarizes a set of block addresses with possible false
+// positives but no false negatives.
+type Signature interface {
+	// Add inserts a block into the summarized set.
+	Add(b mem.BlockAddr)
+	// Test reports whether b may be in the set. False positives are
+	// allowed; false negatives are not.
+	Test(b mem.BlockAddr) bool
+	// Clear empties the signature (constant time in hardware).
+	Clear()
+	// Occupancy returns the fraction of filter state in use (set bits /
+	// total bits for Bloom signatures), a proxy for false-positive rate.
+	Occupancy() float64
+}
+
+// H3 is one H₃-class universal hash function: each input bit of the block
+// address selects a precomputed random row that is XORed into the output.
+// H3 functions are popular in hardware because they reduce to an XOR tree.
+type H3 struct {
+	rows [64]uint32
+	mask uint32
+}
+
+// NewH3 builds an H3 function producing log2(m)-bit outputs, with rows drawn
+// from rng so that parallel functions are independent.
+func NewH3(m int, rng *rand.Rand) *H3 {
+	h := &H3{mask: uint32(m - 1)}
+	for i := range h.rows {
+		h.rows[i] = rng.Uint32() & h.mask
+	}
+	return h
+}
+
+// Hash maps a block address to a bit index in [0, m).
+func (h *H3) Hash(b mem.BlockAddr) uint32 {
+	x := uint64(b)
+	var out uint32
+	for x != 0 {
+		i := bits.TrailingZeros64(x)
+		out ^= h.rows[i]
+		x &= x - 1
+	}
+	return out & h.mask
+}
+
+// Bloom is a single-array Bloom-filter signature with k parallel H3 hash
+// functions, as in LogTM-SE_2xH3 and LogTM-SE_4xH3.
+type Bloom struct {
+	words  []uint64
+	hashes []*H3
+	nbits  int
+	nset   int
+}
+
+var _ Signature = (*Bloom)(nil)
+
+// NewBloom returns a Bloom signature with nbits bits (a power of two) and k
+// H3 hash functions seeded from seed.
+func NewBloom(nbits, k int, seed int64) *Bloom {
+	if nbits <= 0 || nbits&(nbits-1) != 0 {
+		panic("sig: nbits must be a positive power of two")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Bloom{
+		words: make([]uint64, nbits/64),
+		nbits: nbits,
+	}
+	for i := 0; i < k; i++ {
+		s.hashes = append(s.hashes, NewH3(nbits, rng))
+	}
+	return s
+}
+
+// Add inserts block b.
+func (s *Bloom) Add(b mem.BlockAddr) {
+	for _, h := range s.hashes {
+		i := h.Hash(b)
+		w, m := i/64, uint64(1)<<(i%64)
+		if s.words[w]&m == 0 {
+			s.words[w] |= m
+			s.nset++
+		}
+	}
+}
+
+// Test reports whether b may be in the set.
+func (s *Bloom) Test(b mem.BlockAddr) bool {
+	for _, h := range s.hashes {
+		i := h.Hash(b)
+		if s.words[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the signature.
+func (s *Bloom) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.nset = 0
+}
+
+// Occupancy returns set bits / total bits.
+func (s *Bloom) Occupancy() float64 {
+	return float64(s.nset) / float64(s.nbits)
+}
+
+// Perfect is the unimplementable exact signature used by the paper's
+// LogTM-SE_Perf upper bound: it records the set precisely and never aliases.
+type Perfect struct {
+	set map[mem.BlockAddr]struct{}
+}
+
+var _ Signature = (*Perfect)(nil)
+
+// NewPerfect returns an empty perfect signature.
+func NewPerfect() *Perfect {
+	return &Perfect{set: make(map[mem.BlockAddr]struct{})}
+}
+
+// Add inserts block b.
+func (s *Perfect) Add(b mem.BlockAddr) { s.set[b] = struct{}{} }
+
+// Test reports exact membership.
+func (s *Perfect) Test(b mem.BlockAddr) bool {
+	_, ok := s.set[b]
+	return ok
+}
+
+// Clear empties the signature.
+func (s *Perfect) Clear() {
+	for k := range s.set {
+		delete(s.set, k)
+	}
+}
+
+// Occupancy is 0 for perfect signatures: they never saturate.
+func (s *Perfect) Occupancy() float64 { return 0 }
+
+// Kind names a signature configuration.
+type Kind int
+
+// Signature configurations evaluated in the paper.
+const (
+	KindPerfect Kind = iota // exact tracking (unimplementable)
+	Kind2xH3                // 2 Kbit Bloom, 2 H3 hashes
+	Kind4xH3                // 2 Kbit Bloom, 4 H3 hashes
+)
+
+// String returns the paper's name for the configuration.
+func (k Kind) String() string {
+	switch k {
+	case KindPerfect:
+		return "Perf"
+	case Kind2xH3:
+		return "2xH3"
+	case Kind4xH3:
+		return "4xH3"
+	default:
+		return "unknown"
+	}
+}
+
+// New builds a signature of the given kind; seed decorrelates the hash
+// functions of different cores.
+func New(k Kind, seed int64) Signature {
+	switch k {
+	case KindPerfect:
+		return NewPerfect()
+	case Kind2xH3:
+		return NewBloom(DefaultBits, 2, seed)
+	case Kind4xH3:
+		return NewBloom(DefaultBits, 4, seed)
+	default:
+		panic("sig: unknown kind")
+	}
+}

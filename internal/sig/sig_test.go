@@ -1,0 +1,175 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokentm/internal/mem"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(blocks []uint32, seed int64) bool {
+		s := NewBloom(DefaultBits, 4, seed)
+		for _, b := range blocks {
+			s.Add(mem.BlockAddr(b))
+		}
+		for _, b := range blocks {
+			if !s.Test(mem.BlockAddr(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewBloom(DefaultBits, 2, 1)
+	for i := 0; i < 100; i++ {
+		s.Add(mem.BlockAddr(i * 977))
+	}
+	if s.Occupancy() == 0 {
+		t.Fatal("occupancy should be nonzero after adds")
+	}
+	s.Clear()
+	if s.Occupancy() != 0 {
+		t.Fatal("occupancy should be zero after clear")
+	}
+	for i := 0; i < 100; i++ {
+		if s.Test(mem.BlockAddr(i*977)) && i > 3 {
+			t.Fatalf("block %d still present after clear", i)
+		}
+	}
+}
+
+// TestFalsePositiveRateGrowsWithSetSize checks the birthday-paradox effect
+// the paper leans on (Zilles & Rajwar): bigger read/write sets mean more
+// false positives.
+func TestFalsePositiveRateGrowsWithSetSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	measure := func(setSize int) float64 {
+		s := NewBloom(DefaultBits, 4, 5)
+		members := make(map[mem.BlockAddr]bool)
+		for i := 0; i < setSize; i++ {
+			b := mem.BlockAddr(rng.Uint64() >> 20)
+			s.Add(b)
+			members[b] = true
+		}
+		fp := 0
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			b := mem.BlockAddr(rng.Uint64() >> 20)
+			if !members[b] && s.Test(b) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	small := measure(8)
+	large := measure(512)
+	if small > 0.01 {
+		t.Errorf("small-set false positive rate too high: %f", small)
+	}
+	if large < 10*small {
+		t.Errorf("large sets should alias much more: small=%f large=%f", small, large)
+	}
+}
+
+// TestMoreHashesHelpSmallSets: with few elements, 4 hashes alias less than
+// 2; with huge sets the filter saturates either way.
+func TestMoreHashesHelpSmallSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	measure := func(k, setSize int) float64 {
+		s := NewBloom(DefaultBits, k, 17)
+		members := make(map[mem.BlockAddr]bool)
+		for i := 0; i < setSize; i++ {
+			b := mem.BlockAddr(rng.Uint64() >> 20)
+			s.Add(b)
+			members[b] = true
+		}
+		fp := 0
+		const probes = 30000
+		for i := 0; i < probes; i++ {
+			b := mem.BlockAddr(rng.Uint64() >> 20)
+			if !members[b] && s.Test(b) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	fp2 := measure(2, 64)
+	fp4 := measure(4, 64)
+	if fp4 > fp2 && fp4 > 0.001 {
+		t.Errorf("4 hashes should beat 2 on small sets: k2=%f k4=%f", fp2, fp4)
+	}
+}
+
+func TestH3Determinism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewH3(DefaultBits, rng)
+	for i := 0; i < 100; i++ {
+		b := mem.BlockAddr(i * 131071)
+		if h.Hash(b) != h.Hash(b) {
+			t.Fatal("H3 must be deterministic")
+		}
+		if h.Hash(b) >= DefaultBits {
+			t.Fatal("H3 out of range")
+		}
+	}
+}
+
+func TestH3Linearity(t *testing.T) {
+	// H3 is linear over GF(2): h(a^b) == h(a)^h(b).
+	rng := rand.New(rand.NewSource(13))
+	h := NewH3(DefaultBits, rng)
+	f := func(a, b uint64) bool {
+		return h.Hash(mem.BlockAddr(a^b)) == h.Hash(mem.BlockAddr(a))^h.Hash(mem.BlockAddr(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfectIsExact(t *testing.T) {
+	s := NewPerfect()
+	s.Add(1)
+	s.Add(99)
+	if !s.Test(1) || !s.Test(99) || s.Test(2) {
+		t.Fatal("perfect signature must be exact")
+	}
+	if s.Occupancy() != 0 {
+		t.Fatal("perfect signatures report zero occupancy")
+	}
+	s.Clear()
+	if s.Test(1) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	if KindPerfect.String() != "Perf" || Kind2xH3.String() != "2xH3" || Kind4xH3.String() != "4xH3" {
+		t.Fatal("kind names")
+	}
+	if Kind(42).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+	for _, k := range []Kind{KindPerfect, Kind2xH3, Kind4xH3} {
+		s := New(k, 3)
+		s.Add(77)
+		if !s.Test(77) {
+			t.Fatalf("%v: missing member", k)
+		}
+	}
+}
+
+func TestNewBloomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two size")
+		}
+	}()
+	NewBloom(1000, 2, 1)
+}

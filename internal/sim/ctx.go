@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+)
+
+// Operation costs for OS-level primitives.
+const (
+	// LockCycles is the cost of an uncontended lock or unlock operation.
+	LockCycles mem.Cycle = 50
+	// SyscallEntryCycles is the trap overhead of a blocking system call,
+	// charged before the thread blocks.
+	SyscallEntryCycles mem.Cycle = 300
+)
+
+// Ctx is a thread's interface to the simulated machine. All methods must be
+// called from the thread's own closure.
+type Ctx struct {
+	th        *Thread
+	xactDepth int
+
+	// Open-nesting state (see opennest.go).
+	inOpen        bool
+	aux           *htm.Thread
+	parentXact    *htm.Xact
+	compensations []func(*Tx)
+}
+
+// abortSignal unwinds a transaction body back to Atomic on abort.
+type abortSignal struct{}
+
+// Now returns the thread's core-local clock.
+func (tc *Ctx) Now() mem.Cycle { return tc.th.core.time }
+
+// ThreadID returns the thread's global id.
+func (tc *Ctx) ThreadID() int { return tc.th.H.ID }
+
+// Core returns the core the thread runs on.
+func (tc *Ctx) Core() int { return tc.th.core.id }
+
+// Work advances the thread's clock by n cycles of local computation.
+func (tc *Ctx) Work(n mem.Cycle) {
+	if n == 0 {
+		return
+	}
+	tc.th.yield(opResult{lat: n})
+}
+
+// Load reads the word at addr. Outside a transaction this is a
+// strongly-atomic non-transactional access; inside Atomic it joins the
+// transaction's read set.
+func (tc *Ctx) Load(addr mem.Addr) uint64 {
+	th := tc.th
+	for retries := 0; ; retries++ {
+		v, acc := th.m.HTM.Load(th.H, addr, retries)
+		switch acc.Outcome {
+		case htm.OK:
+			tc.setStalling(false)
+			th.yield(opResult{lat: acc.Latency})
+			return v
+		case htm.Stall:
+			if tc.selfDeadlock(acc.Enemies) {
+				panic(errOpenSelfConflict)
+			}
+			tc.setStalling(true)
+			th.yield(opResult{lat: acc.Latency + th.m.backoff(retries)})
+		case htm.AbortSelf:
+			tc.setStalling(false)
+			th.yield(opResult{lat: acc.Latency})
+			panic(abortSignal{})
+		}
+	}
+}
+
+// setStalling maintains the deadlock-detection flag the timestamp policy
+// consults (LogTM's "waiting and wanted" rule).
+func (tc *Ctx) setStalling(v bool) {
+	if x := tc.th.H.Xact; x != nil {
+		x.Stalling = v
+	}
+}
+
+// Store writes the word at addr (see Load for transactional semantics).
+func (tc *Ctx) Store(addr mem.Addr, val uint64) {
+	th := tc.th
+	for retries := 0; ; retries++ {
+		acc := th.m.HTM.Store(th.H, addr, val, retries)
+		switch acc.Outcome {
+		case htm.OK:
+			tc.setStalling(false)
+			th.yield(opResult{lat: acc.Latency})
+			return
+		case htm.Stall:
+			if tc.selfDeadlock(acc.Enemies) {
+				panic(errOpenSelfConflict)
+			}
+			tc.setStalling(true)
+			th.yield(opResult{lat: acc.Latency + th.m.backoff(retries)})
+		case htm.AbortSelf:
+			tc.setStalling(false)
+			th.yield(opResult{lat: acc.Latency})
+			panic(abortSignal{})
+		}
+	}
+}
+
+// Tx is the transactional view handed to an Atomic body.
+type Tx struct{ tc *Ctx }
+
+// Load reads addr within the transaction.
+func (tx *Tx) Load(addr mem.Addr) uint64 { return tx.tc.Load(addr) }
+
+// Store writes addr within the transaction.
+func (tx *Tx) Store(addr mem.Addr, val uint64) { tx.tc.Store(addr, val) }
+
+// Work models computation inside the transaction.
+func (tx *Tx) Work(n mem.Cycle) { tx.tc.Work(n) }
+
+// Now returns the core-local clock.
+func (tx *Tx) Now() mem.Cycle { return tx.tc.Now() }
+
+// Atomic runs fn as a transaction, retrying on abort with randomized
+// exponential backoff. Nested calls flatten into the outer transaction
+// (closed nesting by subsumption; the paper leaves open nesting to future
+// work).
+func (tc *Ctx) Atomic(fn func(*Tx)) {
+	if tc.xactDepth > 0 {
+		tc.xactDepth++
+		defer func() { tc.xactDepth-- }()
+		fn(&Tx{tc: tc})
+		return
+	}
+	th := tc.th
+	x := &htm.Xact{
+		TID:       th.H.TID,
+		Core:      th.core.id,
+		Timestamp: tc.Now(),
+	}
+	for attempt := 1; ; attempt++ {
+		x.Reset()
+		x.Attempts = attempt
+		x.Core = th.core.id
+		x.BeginTime = tc.Now()
+		th.H.Xact = x
+		th.yield(opResult{lat: th.m.HTM.Begin(th.H, tc.Now())})
+
+		if tc.runBody(fn) && !x.AbortRequested {
+			lat, fast := th.m.HTM.Commit(th.H)
+			// Record before yielding the turn: commit mutations have
+			// just been applied, so m.Commits is in true serialization
+			// (commit) order across threads.
+			rec := htm.CommitRecord{
+				Thread:      th.H.ID,
+				ReadBlocks:  len(x.ReadSet),
+				WriteBlocks: len(x.WriteSet),
+				Duration:    tc.Now() + lat - x.BeginTime,
+				Fast:        fast,
+				LogStall:    x.LogStall,
+				Attempts:    x.Attempts,
+			}
+			if !fast {
+				rec.ReleaseCycles = lat
+			}
+			th.Commits = append(th.Commits, rec)
+			th.m.Commits = append(th.m.Commits, rec)
+			th.m.HTM.Stats().RecordCommit(rec)
+			th.H.Xact = nil
+			tc.compensations = nil // open-nested commits stand
+			th.yield(opResult{lat: lat})
+			return
+		}
+
+		// Abort: unroll, back off, retry with the original timestamp.
+		lat := th.m.HTM.Abort(th.H)
+		th.AbortCount++
+		th.H.Xact = nil
+		th.yield(opResult{lat: lat + th.m.abortBackoff(attempt)})
+		// Undo committed open-nested children (each compensation is its
+		// own top-level transaction), then retry.
+		tc.runCompensations()
+	}
+}
+
+// runBody executes the transaction body, converting an abort unwind into a
+// false return.
+func (tc *Ctx) runBody(fn func(*Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				panic(r)
+			}
+			committed = false
+		}
+	}()
+	tc.xactDepth = 1
+	defer func() { tc.xactDepth = 0 }()
+	fn(&Tx{tc: tc})
+	return true
+}
+
+// Lock acquires a simulated OS mutex, blocking (and freeing the core for
+// another thread) if it is held.
+func (tc *Ctx) Lock(id int) {
+	tc.th.yield(opResult{lat: LockCycles, wantLock: true, lockWait: id})
+}
+
+// Unlock releases a mutex held by this thread, waking the first waiter.
+func (tc *Ctx) Unlock(id int) {
+	tc.th.yield(opResult{lat: LockCycles, doUnlock: true, unlock: id})
+}
+
+// Syscall models a blocking system call of the given duration: the thread
+// traps, blocks, and its core may context-switch to another thread.
+func (tc *Ctx) Syscall(duration mem.Cycle) {
+	tc.th.yield(opResult{lat: SyscallEntryCycles, sleep: duration})
+}
+
+// Yield voluntarily ends the thread's time slice.
+func (tc *Ctx) Yield() {
+	tc.th.yield(opResult{lat: 1, sleep: 1})
+}

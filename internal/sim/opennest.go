@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+	"tokentm/internal/tmlog"
+)
+
+// Open nesting — the expanded semantics the paper's conclusion names as
+// future work (§7). An open-nested transaction commits independently of its
+// parent: its effects become visible (and its conflict-detection state is
+// released) immediately, with a compensating action to run if the parent
+// later aborts. The classic use is a memory allocator or statistics counter
+// inside a long transaction.
+//
+// The implementation reuses TokenTM's context-switch machinery: entering the
+// open transaction flash-ORs the L1 metabits, turning the parent's R/W bits
+// into R'/W' bits under the parent's TID, and runs the inner transaction
+// under a per-thread auxiliary TID. The inner transaction therefore
+// coexists with the parent's read set, conflicts properly with the parent's
+// write set, and can itself commit with fast token release (only its own
+// R/W column bits are set). This works unchanged on the LogTM-SE variants,
+// whose signatures are per-TID as well.
+
+// auxTIDBase places per-thread auxiliary TIDs above normal thread TIDs,
+// within the 14-bit Attr field.
+const auxTIDBase = 8192
+
+// Open runs fn as an open-nested transaction inside the current transaction.
+// fn's effects commit immediately and survive a parent abort; compensate
+// (may be nil) is queued to run — as its own top-level transaction — if the
+// parent aborts. Open must be called inside Atomic and must not touch
+// blocks the parent has written (that is a self-conflict, reported by
+// panic); nested Open is not supported.
+func (tx *Tx) Open(fn func(*Tx), compensate func(*Tx)) {
+	tc := tx.tc
+	th := tc.th
+	if tc.xactDepth == 0 {
+		panic("sim: Open outside a transaction")
+	}
+	if tc.inOpen {
+		panic("sim: nested Open is not supported")
+	}
+	parent := th.H
+
+	// Lazily build this thread's auxiliary identity.
+	if tc.aux == nil {
+		id := th.H.ID
+		tid := mem.TID(auxTIDBase + id)
+		if tid > mem.MaxTID {
+			panic("sim: auxiliary TID out of range")
+		}
+		tc.aux = &htm.Thread{
+			ID:   id,
+			TID:  tid,
+			Core: th.core.id,
+			Log:  tmlog.New(LogRegionBase + LogRegionStride*mem.Addr(auxTIDBase+id)),
+		}
+		th.m.HTM.Register(tc.aux)
+	}
+	aux := tc.aux
+	aux.Core = th.core.id
+
+	// Switch the core to the auxiliary identity: flash-OR preserves the
+	// parent's tokens as R'/W' bits (revoking only its fast release).
+	lat := th.m.HTM.ContextSwitch(th.core.id, parent, aux)
+	th.yield(opResult{lat: lat})
+
+	x := &htm.Xact{TID: aux.TID, Core: th.core.id, Timestamp: tc.Now()}
+	tc.inOpen = true
+	tc.parentXact = parent.Xact
+	defer func() { tc.inOpen = false; tc.parentXact = nil }()
+
+	for attempt := 1; ; attempt++ {
+		x.Reset()
+		x.Attempts = attempt
+		x.BeginTime = tc.Now()
+		aux.Xact = x
+		th.yield(opResult{lat: th.m.HTM.Begin(aux, tc.Now())})
+
+		committed := tc.runOpenBody(fn, parent)
+		if committed && !x.AbortRequested {
+			lat, _ := th.m.HTM.Commit(aux)
+			aux.Xact = nil
+			th.yield(opResult{lat: lat})
+			break
+		}
+		lat := th.m.HTM.Abort(aux)
+		th.AbortCount++
+		th.yield(opResult{lat: lat + th.m.abortBackoff(attempt)})
+	}
+
+	// Switch back to the parent identity.
+	lat = th.m.HTM.ContextSwitch(th.core.id, aux, parent)
+	th.yield(opResult{lat: lat})
+
+	if compensate != nil {
+		tc.compensations = append(tc.compensations, compensate)
+	}
+}
+
+// runOpenBody runs the open-nested body under the auxiliary identity,
+// detecting self-deadlock against the parent.
+func (tc *Ctx) runOpenBody(fn func(*Tx), parent *htm.Thread) (committed bool) {
+	th := tc.th
+	// Route accesses through the auxiliary thread.
+	old := th.H
+	th.H = tc.aux
+	defer func() { th.H = old }()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				panic(r)
+			}
+			committed = false
+		}
+	}()
+	fn(&Tx{tc: tc})
+	return true
+}
+
+// Retry aborts the current transaction attempt and retries it from the
+// beginning (a user-initiated abort, useful for "wait until" patterns and
+// for testing abort paths).
+func (tx *Tx) Retry() {
+	if tx.tc.xactDepth == 0 {
+		panic("sim: Retry outside a transaction")
+	}
+	panic(abortSignal{})
+}
+
+// runCompensations executes queued open-nesting compensations (newest
+// first), each as its own top-level transaction, after a parent abort.
+func (tc *Ctx) runCompensations() {
+	comps := tc.compensations
+	tc.compensations = nil
+	for i := len(comps) - 1; i >= 0; i-- {
+		tc.Atomic(comps[i])
+	}
+}
+
+// selfDeadlock reports whether an access's enemy list names the suspended
+// parent transaction (an open-nested transaction touching its parent's
+// write set) — an unresolvable wait that must be surfaced, not spun on.
+func (tc *Ctx) selfDeadlock(enemies []*htm.Xact) bool {
+	if !tc.inOpen || tc.parentXact == nil {
+		return false
+	}
+	for _, e := range enemies {
+		if e == tc.parentXact {
+			return true
+		}
+	}
+	return false
+}
+
+var errOpenSelfConflict = fmt.Errorf("sim: open-nested transaction conflicts with its parent's write set")

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"tokentm/internal/core"
+	"tokentm/internal/mem"
+)
+
+// TestOpenNestingCommitsIndependently: an open-nested transaction's effects
+// are visible immediately and survive the parent's abort; the compensation
+// runs on parent abort.
+func TestOpenNestingCommitsIndependently(t *testing.T) {
+	for _, variant := range allVariants {
+		t.Run(variant, func(t *testing.T) {
+			m := New(Config{Cores: 2, Seed: 5})
+			m.SetHTM(buildHTM(m, variant))
+			const (
+				allocCounter mem.Addr = 0x1000 // touched by open xacts
+				data         mem.Addr = 0x2000 // parent's data
+			)
+			m.Spawn(func(tc *Ctx) {
+				failedOnce := false
+				tc.Atomic(func(tx *Tx) {
+					tx.Store(data, tx.Load(data)+100)
+					// "Allocate" inside the transaction: open-nested
+					// increment with a compensating decrement.
+					tx.Open(func(in *Tx) {
+						in.Store(allocCounter, in.Load(allocCounter)+1)
+					}, func(comp *Tx) {
+						comp.Store(allocCounter, comp.Load(allocCounter)-1)
+					})
+					if !failedOnce {
+						failedOnce = true
+						tx.Retry() // force one parent abort
+					}
+				})
+			})
+			m.Run()
+			// Parent ran twice (one abort), so the open xact committed
+			// twice and compensated once: net 1.
+			if got := m.Store.Load(allocCounter); got != 1 {
+				t.Fatalf("alloc counter = %d, want 1 (two commits, one compensation)", got)
+			}
+			if got := m.Store.Load(data); got != 100 {
+				t.Fatalf("parent data = %d", got)
+			}
+			if tok, ok := m.HTM.(*core.TokenTM); ok {
+				if err := tok.CheckBookkeeping(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenNestingReleasesEarly: after the open child commits, other threads
+// can access its data even while the parent is still running — the child's
+// conflict-detection state is gone.
+func TestOpenNestingReleasesEarly(t *testing.T) {
+	m := New(Config{Cores: 2, Seed: 1})
+	tok := core.New(m.Mem, m.Store)
+	m.SetHTM(tok)
+	const (
+		shared  mem.Addr = 0x1000
+		private mem.Addr = 0x2000
+		gate    mem.Addr = 0x3000
+	)
+	observed := uint64(0)
+	m.Spawn(func(tc *Ctx) {
+		tc.Atomic(func(tx *Tx) {
+			tx.Store(private, 1)
+			tx.Open(func(in *Tx) {
+				in.Store(shared, 42)
+			}, nil)
+			// Signal the other thread, then keep the parent alive.
+			tc.Store(gate, 1) // hmm: non-transactional store inside xact
+			tx.Work(30_000)
+		})
+	})
+	m.Spawn(func(tc *Ctx) {
+		for tc.Load(gate) == 0 {
+			tc.Work(500)
+		}
+		// The parent is still live, but the open child's write must be
+		// readable without conflicting.
+		observed = tc.Load(shared)
+	})
+	m.Run()
+	if observed != 42 {
+		t.Fatalf("open-nested write not visible early: %d", observed)
+	}
+	if err := tok.CheckBookkeeping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenNestingCoexistsWithParentReads: the open child may read blocks the
+// parent has read (flash-OR turned the parent's R into R'; readers coexist).
+func TestOpenNestingCoexistsWithParentReads(t *testing.T) {
+	m := New(Config{Cores: 1, Seed: 1})
+	tok := core.New(m.Mem, m.Store)
+	m.SetHTM(tok)
+	const a mem.Addr = 0x4000
+	m.Store.StoreWord(a, 7)
+	got := uint64(0)
+	m.Spawn(func(tc *Ctx) {
+		tc.Atomic(func(tx *Tx) {
+			v := tx.Load(a)
+			tx.Open(func(in *Tx) {
+				got = in.Load(a) // same block, read-read: fine
+			}, nil)
+			tx.Store(0x5000, v)
+		})
+	})
+	m.Run()
+	if got != 7 {
+		t.Fatalf("open read = %d", got)
+	}
+	if err := tok.CheckBookkeeping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenNestingSelfConflictDetected: an open child writing its parent's
+// write set is an unresolvable self-deadlock and must be surfaced.
+func TestOpenNestingSelfConflictDetected(t *testing.T) {
+	m := New(Config{Cores: 1, Seed: 1})
+	m.SetHTM(core.New(m.Mem, m.Store))
+	const a mem.Addr = 0x6000
+	panicked := make(chan interface{}, 1)
+	m.Spawn(func(tc *Ctx) {
+		defer func() {
+			panicked <- recover()
+			// Let the machine finish: the thread reports completion.
+			tc.th.res <- opResult{finished: true}
+		}()
+		tc.Atomic(func(tx *Tx) {
+			tx.Store(a, 1)
+			tx.Open(func(in *Tx) {
+				in.Store(a, 2) // parent's write set: self-conflict
+			}, nil)
+		})
+	})
+	func() {
+		defer func() { recover() }() // machine may panic on odd thread exit
+		m.Run()
+	}()
+	select {
+	case p := <-panicked:
+		if p == nil {
+			t.Fatal("expected a self-conflict panic")
+		}
+	default:
+		t.Fatal("self-conflict not detected")
+	}
+}
+
+// TestRetryOutsideTransactionPanics guards the API.
+func TestRetryOutsideTransactionPanics(t *testing.T) {
+	tx := &Tx{tc: &Ctx{}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tx.Retry()
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tokentm/internal/core"
+	"tokentm/internal/mem"
+)
+
+// TestSerializability is a randomized black-box check of transactional
+// semantics: threads run randomly generated read-modify-write transactions
+// over a small block set while every committed transaction journals what it
+// observed and wrote. Afterwards the journal is replayed sequentially in
+// commit order against a reference memory; any divergence means the HTM
+// produced a non-serializable execution.
+func TestSerializability(t *testing.T) {
+	for _, variant := range allVariants {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				checkSerializable(t, variant, int64(trial*17+1))
+			}
+		})
+	}
+}
+
+// journalEntry records one committed transaction's reads and writes in
+// commit order. seq is assigned inside the transaction's commit turn, so
+// journal order equals commit order.
+type journalEntry struct {
+	thread int
+	reads  map[mem.Addr]uint64
+	writes map[mem.Addr]uint64
+}
+
+func checkSerializable(t *testing.T, variant string, seed int64) {
+	t.Helper()
+	const (
+		threads = 6
+		xacts   = 25
+		nblocks = 24
+		maxOps  = 8
+	)
+	m := New(Config{Cores: 3, Seed: seed})
+	m.SetHTM(buildHTM(m, variant))
+
+	addr := func(i int) mem.Addr { return mem.Addr(0x40000 + i*mem.BlockBytes) }
+	perThread := make([][]journalEntry, threads)
+
+	for th := 0; th < threads; th++ {
+		th := th
+		rng := rand.New(rand.NewSource(seed*1000 + int64(th)))
+		m.Spawn(func(tc *Ctx) {
+			for k := 0; k < xacts; k++ {
+				nops := 1 + rng.Intn(maxOps)
+				// Pre-draw the plan so retries replay identically.
+				type op struct {
+					a     mem.Addr
+					write bool
+					delta uint64
+				}
+				plan := make([]op, nops)
+				for i := range plan {
+					plan[i] = op{
+						a:     addr(rng.Intn(nblocks)),
+						write: rng.Intn(2) == 0,
+						delta: uint64(1 + rng.Intn(9)),
+					}
+				}
+				var entry journalEntry
+				tc.Atomic(func(tx *Tx) {
+					entry = journalEntry{
+						thread: th,
+						reads:  make(map[mem.Addr]uint64),
+						writes: make(map[mem.Addr]uint64),
+					}
+					for _, o := range plan {
+						v := tx.Load(o.a)
+						if _, seen := entry.writes[o.a]; !seen {
+							if _, seenR := entry.reads[o.a]; !seenR {
+								entry.reads[o.a] = v
+							}
+						}
+						if o.write {
+							nv := v + o.delta
+							tx.Store(o.a, nv)
+							entry.writes[o.a] = nv
+						}
+					}
+				})
+				perThread[th] = append(perThread[th], entry)
+			}
+		})
+	}
+	m.Run()
+
+	// m.Commits is in true commit order (records are appended during the
+	// committing thread's scheduler turn); merge the per-thread journals
+	// along it.
+	next := make([]int, threads)
+	var journal []journalEntry
+	for _, rec := range m.Commits {
+		th := rec.Thread
+		journal = append(journal, perThread[th][next[th]])
+		next[th]++
+	}
+
+	// Replay sequentially: every committed transaction must have read
+	// exactly the values the previous commits (in order) produced.
+	ref := make(map[mem.Addr]uint64)
+	for i, e := range journal {
+		for a, v := range e.reads {
+			if ref[a] != v {
+				t.Fatalf("%s seed=%d: commit %d (thread %d) read %v=%d, serial replay has %d",
+					variant, seed, i, e.thread, a, v, ref[a])
+			}
+		}
+		for a, v := range e.writes {
+			ref[a] = v
+		}
+	}
+	// Final memory must match the serial replay.
+	for i := 0; i < nblocks; i++ {
+		a := addr(i)
+		if got := m.Store.Load(a); got != ref[a] {
+			t.Fatalf("%s seed=%d: final memory %v=%d, serial replay has %d", variant, seed, a, got, ref[a])
+		}
+	}
+	if tok, ok := m.HTM.(*core.TokenTM); ok {
+		if err := tok.CheckBookkeeping(); err != nil {
+			t.Fatalf("%s seed=%d: %v", variant, seed, err)
+		}
+	}
+}
+
+// TestStrongAtomicityMixed checks the guarantee strong atomicity actually
+// provides (§5.1): non-transactional accesses participate in conflict
+// detection, so a non-transactional read can never observe a transaction's
+// uncommitted intermediate state. Writers flip a block to an odd sentinel
+// mid-transaction and restore evenness before committing; readers must only
+// ever see even values.
+func TestStrongAtomicityMixed(t *testing.T) {
+	for _, variant := range allVariants {
+		t.Run(variant, func(t *testing.T) {
+			m := New(Config{Cores: 4, Seed: 9})
+			m.SetHTM(buildHTM(m, variant))
+			const a mem.Addr = 0x5000
+			torn := 0
+			for i := 0; i < 2; i++ {
+				m.Spawn(func(tc *Ctx) { // transactional writers
+					for k := 0; k < 30; k++ {
+						tc.Atomic(func(tx *Tx) {
+							v := tx.Load(a)
+							tx.Store(a, v+1) // odd: uncommitted state
+							tx.Work(150)
+							tx.Store(a, v+2) // even again before commit
+						})
+						tc.Work(40)
+					}
+				})
+			}
+			for i := 0; i < 2; i++ {
+				m.Spawn(func(tc *Ctx) { // non-transactional readers
+					for k := 0; k < 60; k++ {
+						if tc.Load(a)%2 == 1 {
+							torn++
+						}
+						tc.Work(90)
+					}
+				})
+			}
+			m.Run()
+			if torn != 0 {
+				t.Fatalf("%s: %d non-transactional reads observed uncommitted state", variant, torn)
+			}
+			if got := m.Store.Load(a); got != 2*30*2 {
+				t.Fatalf("%s: final counter %d", variant, got)
+			}
+		})
+	}
+}
+
+func ExampleCtx_Atomic() {
+	m := New(Config{Cores: 1})
+	m.SetHTM(core.New(m.Mem, m.Store))
+	m.Spawn(func(tc *Ctx) {
+		tc.Atomic(func(tx *Tx) {
+			tx.Store(0x40, 1)
+			// Nested Atomic flattens into the outer transaction.
+			tc.Atomic(func(inner *Tx) {
+				inner.Store(0x80, 2)
+			})
+		})
+	})
+	m.Run()
+	fmt.Println(m.Store.Load(0x40), m.Store.Load(0x80))
+	// Output: 1 2
+}

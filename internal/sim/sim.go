@@ -1,0 +1,466 @@
+// Package sim is the execution-driven CMP simulator: it runs Go closures as
+// software threads on simulated cores, advancing a per-core cycle clock
+// through the memory system and HTM models.
+//
+// Scheduling uses min-time ordering: the scheduler always resumes the core
+// with the smallest local clock (ties broken by core id), which yields a
+// deterministic, causally consistent interleaving. Threads execute one timed
+// operation per turn via a channel handshake, so although each thread is a
+// goroutine, exactly one runs at a time and no model state needs locking.
+// The paper's error bars come from pseudo-randomly perturbed simulations;
+// the Seed configuration reproduces that by jittering conflict backoffs.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokentm/internal/coherence"
+	"tokentm/internal/htm"
+	"tokentm/internal/mem"
+	"tokentm/internal/tmlog"
+)
+
+// LogRegionBase is where per-thread transaction logs live in the simulated
+// physical address space, far above workload heaps.
+const LogRegionBase mem.Addr = 1 << 40
+
+// LogRegionStride separates consecutive threads' logs.
+const LogRegionStride mem.Addr = 1 << 24
+
+// Config parameterizes a machine.
+type Config struct {
+	// Cores is the number of simulated cores (default 32, as in §6.1).
+	Cores int
+	// Seed drives backoff jitter; distinct seeds model the paper's
+	// perturbed runs.
+	Seed int64
+	// Quantum, if nonzero, preempts a thread after it has run this many
+	// cycles while other threads wait on its core (used by the
+	// lock-based server workloads; TM workloads run one thread per core
+	// and never switch, matching Table 5's note).
+	Quantum mem.Cycle
+	// RetryLimit is how many stalls a transaction tolerates against an
+	// older enemy before self-aborting.
+	RetryLimit int
+}
+
+// DefaultConfig is the paper's machine: 32 cores.
+func DefaultConfig() Config {
+	return Config{Cores: 32, RetryLimit: 64}
+}
+
+// ThreadFunc is the body of a simulated thread.
+type ThreadFunc func(tc *Ctx)
+
+// threadState is a thread's scheduler state.
+type threadState int
+
+const (
+	tsRunnable threadState = iota
+	tsRunning
+	tsBlockedTime // sleeping until wakeAt (syscall)
+	tsWaitingLock
+	tsFinished
+)
+
+// opResult is what a thread reports back to the scheduler each turn.
+type opResult struct {
+	lat      mem.Cycle
+	sleep    mem.Cycle // additional blocked time after lat (syscall)
+	lockWait int       // lock id to wait on (with wantLock=true)
+	wantLock bool
+	unlock   int
+	doUnlock bool
+	finished bool
+}
+
+// Thread is one simulated software thread.
+type Thread struct {
+	H    *htm.Thread
+	m    *Machine
+	core *coreState
+	fn   ThreadFunc
+
+	grant chan struct{}
+	res   chan opResult
+
+	state   threadState
+	wakeAt  mem.Cycle
+	readyAt mem.Cycle
+
+	// Commits collects this thread's committed transactions.
+	Commits []htm.CommitRecord
+	// AbortCount counts aborted attempts.
+	AbortCount int
+}
+
+type coreState struct {
+	id          int
+	time        mem.Cycle
+	cur         *Thread
+	lastRan     *Thread
+	scheduledAt mem.Cycle
+	runq        []*Thread
+	blocked     []*Thread
+}
+
+type lockState struct {
+	held    bool
+	holder  *Thread
+	waiters []*Thread
+}
+
+// Machine is the simulated CMP.
+type Machine struct {
+	cfg     Config
+	Mem     *coherence.MemSys
+	Store   *mem.Store
+	HTM     htm.System
+	threads []*Thread
+	cores   []*coreState
+	locks   map[int]*lockState
+	rng     *rand.Rand
+	live    int
+	// Commits aggregates all threads' commit records in commit order.
+	Commits []htm.CommitRecord
+}
+
+// New builds a machine; attach an HTM system with SetHTM before spawning
+// threads.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 32
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 64
+	}
+	m := &Machine{
+		cfg:   cfg,
+		Mem:   coherence.NewMemSys(cfg.Cores),
+		Store: mem.NewStore(),
+		locks: make(map[int]*lockState),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &coreState{id: i})
+	}
+	return m
+}
+
+// SetHTM attaches the HTM system (built over m.Mem and m.Store).
+func (m *Machine) SetHTM(h htm.System) { m.HTM = h }
+
+// Spawn creates a thread pinned to core threadID % Cores.
+func (m *Machine) Spawn(fn ThreadFunc) *Thread {
+	id := len(m.threads)
+	c := m.cores[id%m.cfg.Cores]
+	th := &Thread{
+		H: &htm.Thread{
+			ID:   id,
+			TID:  mem.TID(id + 1),
+			Core: c.id,
+			Log:  newLog(id),
+		},
+		m:     m,
+		core:  c,
+		fn:    fn,
+		grant: make(chan struct{}),
+		res:   make(chan opResult),
+		state: tsRunnable,
+	}
+	m.threads = append(m.threads, th)
+	c.runq = append(c.runq, th)
+	m.HTM.Register(th.H)
+	m.live++
+	go th.run()
+	return th
+}
+
+// Threads returns the spawned threads.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+func (th *Thread) run() {
+	<-th.grant
+	tc := &Ctx{th: th}
+	th.fn(tc)
+	if tc.xactDepth != 0 {
+		panic(fmt.Sprintf("sim: thread %d finished inside a transaction", th.H.ID))
+	}
+	th.res <- opResult{finished: true}
+}
+
+// yield hands the turn back to the scheduler and waits for the next grant.
+func (th *Thread) yield(r opResult) {
+	th.res <- r
+	if !r.finished {
+		<-th.grant
+	}
+}
+
+// Run executes until every thread finishes, returning the makespan: the
+// largest core clock (total parallel execution time).
+func (m *Machine) Run() mem.Cycle {
+	if m.HTM == nil {
+		panic("sim: SetHTM before Run")
+	}
+	for m.live > 0 {
+		c := m.pickCore()
+		if c == nil {
+			m.deadlock()
+		}
+		m.dispatch(c)
+		th := c.cur
+		th.state = tsRunning
+		th.grant <- struct{}{}
+		r := <-th.res
+		c.time += r.lat
+		m.settle(c, th, r)
+	}
+	var makespan mem.Cycle
+	for _, c := range m.cores {
+		if c.time > makespan {
+			makespan = c.time
+		}
+	}
+	return makespan
+}
+
+// pickCore returns the schedulable core with the smallest effective time.
+func (m *Machine) pickCore() *coreState {
+	var best *coreState
+	var bestTime mem.Cycle
+	for _, c := range m.cores {
+		t, ok := m.coreReadyTime(c)
+		if !ok {
+			continue
+		}
+		if best == nil || t < bestTime || (t == bestTime && c.id < best.id) {
+			best = c
+			bestTime = t
+		}
+	}
+	if best != nil {
+		// Idle cores fast-forward to their next event.
+		if best.time < bestTime {
+			best.time = bestTime
+		}
+	}
+	return best
+}
+
+// coreReadyTime computes when core c can next run something.
+func (m *Machine) coreReadyTime(c *coreState) (mem.Cycle, bool) {
+	t := c.time
+	if c.cur != nil {
+		return t, true
+	}
+	best, ok := mem.Cycle(0), false
+	for _, th := range c.runq {
+		rt := t
+		if th.readyAt > rt {
+			rt = th.readyAt
+		}
+		if !ok || rt < best {
+			best, ok = rt, true
+		}
+	}
+	for _, th := range c.blocked {
+		if th.state != tsBlockedTime {
+			continue
+		}
+		rt := th.wakeAt
+		if rt < t {
+			rt = t
+		}
+		if !ok || rt < best {
+			best, ok = rt, true
+		}
+	}
+	return best, ok
+}
+
+// dispatch ensures core c has a current thread, performing a context switch
+// if a different thread is scheduled in.
+func (m *Machine) dispatch(c *coreState) {
+	// Wake timed-blocked threads whose deadline passed.
+	kept := c.blocked[:0]
+	for _, th := range c.blocked {
+		if th.state == tsBlockedTime && th.wakeAt <= c.time {
+			th.state = tsRunnable
+			th.readyAt = th.wakeAt
+			c.runq = append(c.runq, th)
+			continue
+		}
+		kept = append(kept, th)
+	}
+	c.blocked = kept
+
+	if c.cur != nil {
+		// Preempt if the quantum expired and others are waiting.
+		if m.cfg.Quantum > 0 && len(c.runq) > 0 && c.time-c.scheduledAt >= m.cfg.Quantum {
+			out := c.cur
+			out.state = tsRunnable
+			out.readyAt = c.time
+			c.runq = append(c.runq, out)
+			c.cur = nil
+		} else {
+			return
+		}
+	}
+	if len(c.runq) == 0 {
+		// Only timed-blocked threads: fast-forward to the earliest.
+		var next *Thread
+		for _, th := range c.blocked {
+			if th.state == tsBlockedTime && (next == nil || th.wakeAt < next.wakeAt) {
+				next = th
+			}
+		}
+		if next == nil {
+			m.deadlock()
+		}
+		if next.wakeAt > c.time {
+			c.time = next.wakeAt
+		}
+		m.dispatch(c)
+		return
+	}
+	// FIFO among ready threads.
+	var in *Thread
+	idx := -1
+	for i, th := range c.runq {
+		if th.readyAt <= c.time && (idx < 0) {
+			idx = i
+			in = th
+		}
+	}
+	if idx < 0 {
+		// All have future readyAt; take the earliest.
+		for i, th := range c.runq {
+			if in == nil || th.readyAt < in.readyAt {
+				in = th
+				idx = i
+			}
+		}
+		if in.readyAt > c.time {
+			c.time = in.readyAt
+		}
+	}
+	c.runq = append(c.runq[:idx], c.runq[idx+1:]...)
+	c.cur = in
+	c.scheduledAt = c.time
+	if c.lastRan != in {
+		if c.lastRan != nil {
+			c.time += m.HTM.ContextSwitch(c.id, c.lastRan.H, in.H)
+		} else {
+			m.HTM.RunningOn(c.id, in.H)
+		}
+	} else {
+		m.HTM.RunningOn(c.id, in.H)
+	}
+	c.lastRan = in
+}
+
+// settle applies a thread's op result to scheduler state.
+func (m *Machine) settle(c *coreState, th *Thread, r opResult) {
+	if r.finished {
+		th.state = tsFinished
+		c.cur = nil
+		m.live--
+		return
+	}
+	if r.doUnlock {
+		m.doUnlock(c, th, r.unlock)
+	}
+	switch {
+	case r.wantLock:
+		l := m.lock(r.lockWait)
+		if !l.held {
+			l.held = true
+			l.holder = th
+			return // keeps running
+		}
+		l.waiters = append(l.waiters, th)
+		th.state = tsWaitingLock
+		c.blocked = append(c.blocked, th)
+		c.cur = nil
+	case r.sleep > 0:
+		th.state = tsBlockedTime
+		th.wakeAt = c.time + r.sleep
+		c.blocked = append(c.blocked, th)
+		c.cur = nil
+	}
+}
+
+func (m *Machine) lock(id int) *lockState {
+	l, ok := m.locks[id]
+	if !ok {
+		l = &lockState{}
+		m.locks[id] = l
+	}
+	return l
+}
+
+// doUnlock releases a lock, handing it directly to the first waiter.
+func (m *Machine) doUnlock(c *coreState, th *Thread, id int) {
+	l := m.lock(id)
+	if !l.held || l.holder != th {
+		panic(fmt.Sprintf("sim: thread %d unlocks lock %d it does not hold", th.H.ID, id))
+	}
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.holder = nil
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.holder = next
+	next.state = tsRunnable
+	next.readyAt = c.time
+	// Move from its core's blocked list to the run queue.
+	nc := next.core
+	for i, b := range nc.blocked {
+		if b == next {
+			nc.blocked = append(nc.blocked[:i], nc.blocked[i+1:]...)
+			break
+		}
+	}
+	nc.runq = append(nc.runq, next)
+}
+
+func (m *Machine) deadlock() {
+	detail := ""
+	for _, th := range m.threads {
+		if th.state != tsFinished {
+			detail += fmt.Sprintf(" thread%d(state=%d)", th.H.ID, th.state)
+		}
+	}
+	panic("sim: deadlock —" + detail)
+}
+
+// backoff computes conflict-stall backoff with bounded exponential growth
+// and seed-driven jitter (the paper's pseudo-random perturbation).
+func (m *Machine) backoff(retries int) mem.Cycle {
+	if retries > 6 {
+		retries = 6
+	}
+	base := mem.Cycle(32) << uint(retries)
+	return base + mem.Cycle(m.rng.Intn(int(base)))
+}
+
+// abortBackoff is the randomized exponential backoff after an abort. It
+// grows much larger than the stall backoff so that a conflict loser stays
+// out of the winner's way long enough for it to commit (avoiding the
+// dueling-upgrade livelock where the victim immediately re-acquires the
+// read token the winner is trying to upgrade).
+func (m *Machine) abortBackoff(attempt int) mem.Cycle {
+	if attempt > 8 {
+		attempt = 8
+	}
+	base := mem.Cycle(128) << uint(attempt)
+	return base + mem.Cycle(m.rng.Intn(int(base)))
+}
+
+func newLog(threadID int) *tmlog.Log {
+	return tmlog.New(LogRegionBase + LogRegionStride*mem.Addr(threadID))
+}

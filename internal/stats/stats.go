@@ -1,0 +1,114 @@
+// Package stats provides the small statistics toolkit the evaluation
+// harness needs: running means, standard deviations, and the 95% confidence
+// intervals the paper reports as error bars from multiple pseudo-randomly
+// perturbed simulations (§6.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations with Welford's online algorithm.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// tTable holds two-sided 95% Student-t critical values for small degrees of
+// freedom; beyond the table the normal approximation 1.96 is used.
+var tTable = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	df := s.n - 1
+	t := 1.96
+	if df < len(tTable) {
+		t = tTable[df]
+	}
+	return t * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the sample as "mean ± ci (n=..)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.N() != 0 || s.CI95() != 0 || s.Var() != 0 {
+		t.Fatal("zero-value sample")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 || s.Sum() != 40 {
+		t.Fatalf("n=%d mean=%f sum=%f", s.N(), s.Mean(), s.Sum())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min=%f max=%f", s.Min(), s.Max())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-9 {
+		t.Fatalf("var=%f", s.Var())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ci := func(n int) float64 {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64())
+		}
+		return s.CI95()
+	}
+	small, large := ci(5), ci(5000)
+	if large >= small {
+		t.Fatalf("CI should shrink with n: %f vs %f", small, large)
+	}
+}
+
+func TestCI95SmallN(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	// df=1: t=12.706, sd=sqrt(2), half-width = 12.706*sqrt(2)/sqrt(2).
+	want := 12.706
+	if math.Abs(s.CI95()-want) > 1e-6 {
+		t.Fatalf("CI95=%f want %f", s.CI95(), want)
+	}
+}
+
+// Property: Welford mean matches a direct sum within tolerance.
+func TestWelfordMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		var sum float64
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return s.N() == 0
+		}
+		want := sum / float64(n)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(s.Mean()-want)/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {125, 5}, {-1, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	if got := s.String(); got == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,295 @@
+// Package txlib provides transactional data structures built on the public
+// tokentm API — the kind of library code the paper argues unbounded HTM
+// should make easy to write. Every structure lives in simulated memory and
+// is manipulated inside the caller's transaction (methods take a *tokentm.Tx),
+// so composite operations across several structures are atomic by
+// construction, read/write sets can grow without bound, and TokenTM's
+// precise conflict detection keeps non-conflicting operations parallel.
+//
+// Layout conventions: every independently-updated word is placed in its own
+// 64-byte block to avoid false sharing at the conflict-detection
+// granularity, exactly as a performance-conscious TM programmer would lay
+// out memory.
+package txlib
+
+import (
+	"fmt"
+
+	"tokentm"
+)
+
+// blockAligned returns the i-th block-aligned slot after base.
+func blockAligned(base tokentm.Addr, i int) tokentm.Addr {
+	return base + tokentm.Addr(i)*tokentm.BlockBytes
+}
+
+// Allocator is a transactional bump allocator over a region of simulated
+// memory. Alloc is performed as an *open-nested* transaction: the bump of
+// the allocation pointer commits immediately, so two transactions
+// allocating concurrently do not conflict with each other even while their
+// parents run on — the textbook use of open nesting. The allocation leaks
+// if the parent aborts (no compensation is registered), which is the
+// standard safe-but-lossy policy for TM allocators.
+type Allocator struct {
+	next  tokentm.Addr // block holding the bump pointer
+	base  tokentm.Addr // first allocatable address
+	limit tokentm.Addr
+}
+
+// NewAllocator carves an allocator over [base+1 block, base+blocks*64).
+func NewAllocator(sys *tokentm.System, base tokentm.Addr, blocks int) *Allocator {
+	a := &Allocator{
+		next:  base,
+		base:  base + tokentm.BlockBytes,
+		limit: base + tokentm.Addr(blocks)*tokentm.BlockBytes,
+	}
+	sys.StoreWord(base, uint64(a.base))
+	return a
+}
+
+// Alloc returns a fresh 64-byte block. It must be called inside a
+// transaction; the bump itself commits open-nested.
+func (a *Allocator) Alloc(tx *tokentm.Tx) tokentm.Addr {
+	var out tokentm.Addr
+	tx.Open(func(in *tokentm.Tx) {
+		p := in.Load(a.next)
+		if tokentm.Addr(p)+tokentm.BlockBytes > a.limit {
+			panic(fmt.Sprintf("txlib: allocator exhausted at %#x", p))
+		}
+		in.Store(a.next, p+tokentm.BlockBytes)
+		out = tokentm.Addr(p)
+	}, nil)
+	return out
+}
+
+// Map is a fixed-capacity open-addressing hash map from non-zero uint64
+// keys to uint64 values, using linear probing. Each slot occupies one block
+// (key in word 0, value in word 1), so independent keys conflict only when
+// they probe through each other.
+type Map struct {
+	base  tokentm.Addr
+	slots int
+}
+
+// NewMap lays out a map with the given number of slots (rounded up to a
+// power of two) at base.
+func NewMap(base tokentm.Addr, slots int) *Map {
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &Map{base: base, slots: n}
+}
+
+// Blocks returns the number of blocks the map occupies.
+func (m *Map) Blocks() int { return m.slots }
+
+func (m *Map) slot(i int) tokentm.Addr { return blockAligned(m.base, i&(m.slots-1)) }
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Put inserts or updates key (non-zero) within tx. It returns false when
+// the table is full.
+func (m *Map) Put(tx *tokentm.Tx, key, val uint64) bool {
+	if key == 0 {
+		panic("txlib: zero key is reserved")
+	}
+	h := int(hash64(key))
+	for i := 0; i < m.slots; i++ {
+		s := m.slot(h + i)
+		k := tx.Load(s)
+		if k == 0 || k == key {
+			tx.Store(s, key)
+			tx.Store(s+8, val)
+			return true
+		}
+	}
+	return false
+}
+
+// Get looks key up within tx.
+func (m *Map) Get(tx *tokentm.Tx, key uint64) (uint64, bool) {
+	h := int(hash64(key))
+	for i := 0; i < m.slots; i++ {
+		s := m.slot(h + i)
+		k := tx.Load(s)
+		if k == 0 {
+			return 0, false
+		}
+		if k == key {
+			return tx.Load(s + 8), true
+		}
+	}
+	return 0, false
+}
+
+// Queue is a bounded MPMC FIFO ring. Head and tail counters live in their
+// own blocks; each element occupies one block.
+type Queue struct {
+	head, tail tokentm.Addr
+	ring       tokentm.Addr
+	capacity   int
+}
+
+// NewQueue lays out a queue with the given capacity at base
+// (capacity+2 blocks).
+func NewQueue(base tokentm.Addr, capacity int) *Queue {
+	return &Queue{
+		head:     blockAligned(base, 0),
+		tail:     blockAligned(base, 1),
+		ring:     blockAligned(base, 2),
+		capacity: capacity,
+	}
+}
+
+// Blocks returns the number of blocks the queue occupies.
+func (q *Queue) Blocks() int { return q.capacity + 2 }
+
+// Push enqueues v within tx; it returns false if the queue is full.
+func (q *Queue) Push(tx *tokentm.Tx, v uint64) bool {
+	h, t := tx.Load(q.head), tx.Load(q.tail)
+	if t-h >= uint64(q.capacity) {
+		return false
+	}
+	tx.Store(blockAligned(q.ring, int(t)%q.capacity), v)
+	tx.Store(q.tail, t+1)
+	return true
+}
+
+// Pop dequeues within tx; ok is false when the queue is empty.
+func (q *Queue) Pop(tx *tokentm.Tx) (v uint64, ok bool) {
+	h, t := tx.Load(q.head), tx.Load(q.tail)
+	if h == t {
+		return 0, false
+	}
+	v = tx.Load(blockAligned(q.ring, int(h)%q.capacity))
+	tx.Store(q.head, h+1)
+	return v, true
+}
+
+// Len returns the number of queued elements within tx.
+func (q *Queue) Len(tx *tokentm.Tx) int {
+	return int(tx.Load(q.tail) - tx.Load(q.head))
+}
+
+// List is a sorted singly-linked list of non-zero uint64 keys — the classic
+// TM microbenchmark. Nodes come from an Allocator (one block per node: key
+// in word 0, next pointer in word 1); a sentinel head node anchors the
+// list. Traversals read long prefixes, so lists exercise large read sets
+// with small write sets.
+type List struct {
+	head  tokentm.Addr
+	alloc *Allocator
+}
+
+// NewList builds an empty list with nodes drawn from alloc. Call inside a
+// transaction (or before spawning threads via a setup transaction).
+func NewList(tx *tokentm.Tx, alloc *Allocator) *List {
+	head := alloc.Alloc(tx)
+	tx.Store(head, 0)   // sentinel key
+	tx.Store(head+8, 0) // next = nil
+	return &List{head: head, alloc: alloc}
+}
+
+// Insert adds key (idempotently) within tx, keeping the list sorted.
+func (l *List) Insert(tx *tokentm.Tx, key uint64) {
+	if key == 0 {
+		panic("txlib: zero key is reserved")
+	}
+	prev := l.head
+	for {
+		next := tokentm.Addr(tx.Load(prev + 8))
+		if next == 0 || tx.Load(next) >= key {
+			if next != 0 && tx.Load(next) == key {
+				return
+			}
+			n := l.alloc.Alloc(tx)
+			tx.Store(n, key)
+			tx.Store(n+8, uint64(next))
+			tx.Store(prev+8, uint64(n))
+			return
+		}
+		prev = next
+	}
+}
+
+// Contains reports membership within tx.
+func (l *List) Contains(tx *tokentm.Tx, key uint64) bool {
+	n := tokentm.Addr(tx.Load(l.head + 8))
+	for n != 0 {
+		k := tx.Load(n)
+		if k == key {
+			return true
+		}
+		if k > key {
+			return false
+		}
+		n = tokentm.Addr(tx.Load(n + 8))
+	}
+	return false
+}
+
+// Remove deletes key within tx, reporting whether it was present.
+func (l *List) Remove(tx *tokentm.Tx, key uint64) bool {
+	prev := l.head
+	for {
+		next := tokentm.Addr(tx.Load(prev + 8))
+		if next == 0 {
+			return false
+		}
+		k := tx.Load(next)
+		if k == key {
+			tx.Store(prev+8, tx.Load(next+8))
+			return true
+		}
+		if k > key {
+			return false
+		}
+		prev = next
+	}
+}
+
+// Keys returns the list contents in order within tx.
+func (l *List) Keys(tx *tokentm.Tx) []uint64 {
+	var out []uint64
+	n := tokentm.Addr(tx.Load(l.head + 8))
+	for n != 0 {
+		out = append(out, tx.Load(n))
+		n = tokentm.Addr(tx.Load(n + 8))
+	}
+	return out
+}
+
+// Counter is a sharded counter: increments touch a per-thread shard (no
+// conflicts); Sum reads all shards transactionally.
+type Counter struct {
+	base   tokentm.Addr
+	shards int
+}
+
+// NewCounter lays out a counter with the given shard count at base.
+func NewCounter(base tokentm.Addr, shards int) *Counter {
+	return &Counter{base: base, shards: shards}
+}
+
+// Add increments shard (e.g. the thread id) by delta within tx.
+func (c *Counter) Add(tx *tokentm.Tx, shard int, delta uint64) {
+	a := blockAligned(c.base, shard%c.shards)
+	tx.Store(a, tx.Load(a)+delta)
+}
+
+// Sum folds all shards within tx.
+func (c *Counter) Sum(tx *tokentm.Tx) uint64 {
+	var total uint64
+	for i := 0; i < c.shards; i++ {
+		total += tx.Load(blockAligned(c.base, i))
+	}
+	return total
+}

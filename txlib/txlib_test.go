@@ -1,0 +1,317 @@
+package txlib
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tokentm"
+)
+
+var variants = tokentm.Variants()
+
+func newSys(v tokentm.Variant, cores int, seed int64) *tokentm.System {
+	return tokentm.New(tokentm.Config{Variant: v, Cores: cores, Seed: seed})
+}
+
+func TestMapBasics(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 1, 1)
+	m := NewMap(0x100000, 64)
+	sys.Spawn(func(tc *tokentm.Ctx) {
+		tc.Atomic(func(tx *tokentm.Tx) {
+			if _, ok := m.Get(tx, 7); ok {
+				t.Error("empty map")
+			}
+			if !m.Put(tx, 7, 70) || !m.Put(tx, 9, 90) {
+				t.Error("put")
+			}
+			m.Put(tx, 7, 71) // update
+		})
+		tc.Atomic(func(tx *tokentm.Tx) {
+			if v, ok := m.Get(tx, 7); !ok || v != 71 {
+				t.Errorf("get 7: %d", v)
+			}
+			if v, ok := m.Get(tx, 9); !ok || v != 90 {
+				t.Errorf("get 9: %d", v)
+			}
+			if _, ok := m.Get(tx, 8); ok {
+				t.Error("phantom key")
+			}
+		})
+	})
+	sys.Run()
+}
+
+func TestMapFillsUp(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 1, 1)
+	m := NewMap(0x100000, 4) // 4 slots
+	sys.Spawn(func(tc *tokentm.Ctx) {
+		tc.Atomic(func(tx *tokentm.Tx) {
+			for k := uint64(1); k <= 4; k++ {
+				if !m.Put(tx, k, k) {
+					t.Errorf("put %d failed", k)
+				}
+			}
+			if m.Put(tx, 99, 1) {
+				t.Error("full map accepted a 5th key")
+			}
+		})
+	})
+	sys.Run()
+}
+
+// TestMapConcurrent: concurrent disjoint inserts across every variant; all
+// keys must be present afterwards.
+func TestMapConcurrent(t *testing.T) {
+	for _, v := range variants {
+		t.Run(string(v), func(t *testing.T) {
+			sys := newSys(v, 4, 7)
+			m := NewMap(0x100000, 512)
+			const perThread = 40
+			for th := 0; th < 4; th++ {
+				th := th
+				sys.Spawn(func(tc *tokentm.Ctx) {
+					for i := 0; i < perThread; i++ {
+						key := uint64(th*perThread + i + 1)
+						tc.Atomic(func(tx *tokentm.Tx) {
+							if !m.Put(tx, key, key*10) {
+								t.Errorf("put %d", key)
+							}
+						})
+					}
+				})
+			}
+			sys.Run()
+
+			// Validate via the raw memory image (Run has finished).
+			found := 0
+			for i := 0; i < m.Blocks(); i++ {
+				k := sys.Load(blockAligned(m.base, i))
+				if k != 0 {
+					found++
+					if want := k * 10; sys.Load(blockAligned(m.base, i)+8) != want {
+						t.Errorf("key %d has wrong value", k)
+					}
+				}
+			}
+			if found != 4*perThread {
+				t.Errorf("%d keys present, want %d", found, 4*perThread)
+			}
+		})
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 1, 1)
+	q := NewQueue(0x200000, 8)
+	var got []uint64
+	sys.Spawn(func(tc *tokentm.Ctx) {
+		tc.Atomic(func(tx *tokentm.Tx) {
+			for i := uint64(1); i <= 8; i++ {
+				if !q.Push(tx, i) {
+					t.Errorf("push %d", i)
+				}
+			}
+			if q.Push(tx, 99) {
+				t.Error("push into full queue")
+			}
+			if q.Len(tx) != 8 {
+				t.Errorf("len %d", q.Len(tx))
+			}
+		})
+		tc.Atomic(func(tx *tokentm.Tx) {
+			for {
+				v, ok := q.Pop(tx)
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+		})
+	})
+	sys.Run()
+	if len(got) != 8 {
+		t.Fatalf("popped %d", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO order broken: %v", got)
+		}
+	}
+}
+
+// TestQueueProducersConsumers: total transferred count is conserved under
+// concurrency.
+func TestQueueProducersConsumers(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 4, 3)
+	q := NewQueue(0x200000, 16)
+	const items = 50
+	consumed := make([]uint64, 2)
+	for p := 0; p < 2; p++ {
+		p := p
+		sys.Spawn(func(tc *tokentm.Ctx) {
+			sent := 0
+			for sent < items {
+				ok := false
+				tc.Atomic(func(tx *tokentm.Tx) {
+					ok = q.Push(tx, uint64(p*items+sent+1))
+				})
+				if ok {
+					sent++
+				} else {
+					tc.Work(300)
+				}
+			}
+		})
+	}
+	for c := 0; c < 2; c++ {
+		c := c
+		sys.Spawn(func(tc *tokentm.Ctx) {
+			got := 0
+			for got < items {
+				var v uint64
+				ok := false
+				tc.Atomic(func(tx *tokentm.Tx) {
+					v, ok = q.Pop(tx)
+				})
+				if ok {
+					consumed[c] += 1
+					got++
+					_ = v
+				} else {
+					tc.Work(300)
+				}
+			}
+		})
+	}
+	sys.Run()
+	if consumed[0]+consumed[1] != 2*items {
+		t.Fatalf("consumed %d, want %d", consumed[0]+consumed[1], 2*items)
+	}
+	if tok := sys.TokenTM(); tok != nil {
+		if err := tok.CheckBookkeeping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestListSortedSet: concurrent inserts/removes keep the list a sorted set
+// equal to a model, on every variant. The allocator exercises open nesting
+// inside every insert.
+func TestListSortedSet(t *testing.T) {
+	for _, v := range variants {
+		t.Run(string(v), func(t *testing.T) {
+			sys := newSys(v, 4, 11)
+			alloc := NewAllocator(sys, 0x300000, 4096)
+			var l *List
+			done := make(chan *List, 1)
+			// Setup thread builds the list, then workers mutate it.
+			inserted := make([][]uint64, 4)
+			sys.Spawn(func(tc *tokentm.Ctx) {
+				tc.Atomic(func(tx *tokentm.Tx) {
+					l = NewList(tx, alloc)
+				})
+				done <- l
+				rng := rand.New(rand.NewSource(100))
+				for i := 0; i < 30; i++ {
+					k := uint64(rng.Intn(200) + 1)
+					tc.Atomic(func(tx *tokentm.Tx) { l.Insert(tx, k) })
+					inserted[0] = append(inserted[0], k)
+				}
+			})
+			for w := 1; w < 4; w++ {
+				w := w
+				sys.Spawn(func(tc *tokentm.Ctx) {
+					for l == nil {
+						tc.Work(200)
+					}
+					rng := rand.New(rand.NewSource(int64(w * 31)))
+					for i := 0; i < 30; i++ {
+						k := uint64(rng.Intn(200) + 1)
+						tc.Atomic(func(tx *tokentm.Tx) { l.Insert(tx, k) })
+						inserted[w] = append(inserted[w], k)
+					}
+				})
+			}
+			sys.Run()
+			<-done
+
+			// Model: the union of all inserted keys.
+			model := map[uint64]bool{}
+			for _, ks := range inserted {
+				for _, k := range ks {
+					model[k] = true
+				}
+			}
+			// Read back the final list via raw memory walk.
+			var got []uint64
+			n := tokentm.Addr(sys.Load(l.head + 8))
+			for n != 0 {
+				got = append(got, sys.Load(n))
+				n = tokentm.Addr(sys.Load(n + 8))
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("list not sorted: %v", got)
+			}
+			if len(got) != len(model) {
+				t.Fatalf("list has %d keys, model %d", len(got), len(model))
+			}
+			for _, k := range got {
+				if !model[k] {
+					t.Fatalf("phantom key %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestCounterSharding(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 4, 5)
+	c := NewCounter(0x400000, 4)
+	for th := 0; th < 4; th++ {
+		th := th
+		sys.Spawn(func(tc *tokentm.Ctx) {
+			for i := 0; i < 50; i++ {
+				tc.Atomic(func(tx *tokentm.Tx) {
+					c.Add(tx, th, 1)
+				})
+			}
+		})
+	}
+	sys.Run()
+	// Sharded increments should be conflict-free.
+	if st := sys.HTM.Stats(); st.Conflicts != 0 {
+		t.Fatalf("sharded counter conflicted %d times", st.Conflicts)
+	}
+	check := uint64(0)
+	for i := 0; i < 4; i++ {
+		check += sys.Load(blockAligned(0x400000, i))
+	}
+	if check != 200 {
+		t.Fatalf("sum %d", check)
+	}
+}
+
+func TestZeroKeyPanics(t *testing.T) {
+	sys := newSys(tokentm.VariantTokenTM, 1, 1)
+	m := NewMap(0x100000, 8)
+	panicked := false
+	sys.Spawn(func(tc *tokentm.Ctx) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+			tc.Work(1)
+		}()
+		tc.Atomic(func(tx *tokentm.Tx) {
+			m.Put(tx, 0, 1)
+		})
+	})
+	func() {
+		defer func() { recover() }()
+		sys.Run()
+	}()
+	if !panicked {
+		t.Fatal("zero key must panic")
+	}
+}
