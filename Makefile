@@ -1,0 +1,32 @@
+# Developer entry points. `make verify` is the tier-1 gate; `make bench`
+# records the harness sweep trajectory as BENCH_experiments.json.
+
+GO ?= go
+
+# Small-scale sweep parameters for make bench: the full grid (8 workloads x
+# 5 variants) over 3 perturbation seeds. Simulated metrics are
+# deterministic; wall-clock fields record this host.
+BENCH_SCALE ?= 0.02
+BENCH_SEEDS ?= 3
+BENCH_PARALLEL ?= 0
+
+.PHONY: verify race bench clean-cache
+
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) test ./...
+
+# Race-enabled proof that parallel sweeps share no mutable state between
+# simulated machines (harness worker pool + scheduler contract).
+race:
+	$(GO) test -race ./internal/harness ./internal/sim
+
+bench:
+	$(GO) run ./cmd/experiments -run verify,fig1,fig5 \
+		-scale $(BENCH_SCALE) -seeds $(BENCH_SEEDS) -parallel $(BENCH_PARALLEL) \
+		-json BENCH_experiments.json -json-timing
+
+clean-cache:
+	rm -rf .expcache

@@ -5,11 +5,18 @@ package tokentm
 // for one full regeneration pass, or cmd/experiments for the formatted
 // tables). Reported custom metrics carry the experiment's headline numbers
 // into the benchmark output.
+//
+// The figure benchmarks run on internal/harness (Figure1/Figure5 sweep
+// their grids through the parallel job system); BenchmarkHarnessSweep
+// measures the job system itself at serial vs full parallelism.
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
+	"tokentm/internal/harness"
+	"tokentm/internal/stats"
 	"tokentm/internal/workload"
 )
 
@@ -86,6 +93,45 @@ func BenchmarkTable6(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkHarnessSweep measures the experiment-grid job system end to end:
+// the full 8 workloads × 5 variants grid swept through internal/harness at
+// serial and full parallelism. The parallel/serial wall-clock ratio is the
+// sweep speedup the harness buys on this host; per-job wall medians and
+// p95s come from the stats order statistics.
+func BenchmarkHarnessSweep(b *testing.B) {
+	jobs := harness.Grid(workload.Names(), variantNames(), benchScale, []int64{1})
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := NewRunner(SweepOptions{Parallel: par})
+				results := r.Sweep(jobs)
+				if i != 0 {
+					continue
+				}
+				wall := &stats.Sample{}
+				for _, res := range results {
+					if !res.OK() {
+						b.Fatalf("job %s failed: %s", res.Job, res.Err)
+					}
+					wall.Add(float64(res.WallNS) / 1e6)
+				}
+				b.ReportMetric(float64(len(results)), "jobs/op")
+				b.ReportMetric(wall.Median(), "job-wall-median-ms")
+				b.ReportMetric(wall.Percentile(95), "job-wall-p95-ms")
+			}
+		})
+	}
+}
+
+// variantNames is the variant axis of the benchmark grid.
+func variantNames() []string {
+	var names []string
+	for _, v := range Variants() {
+		names = append(names, string(v))
+	}
+	return names
 }
 
 // BenchmarkWorkloadVariant measures simulator throughput per workload and

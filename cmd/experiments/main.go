@@ -6,27 +6,43 @@
 //	experiments -run all            # everything (slow at full scale)
 //	experiments -run fig5 -scale 0.05 -seeds 3
 //	experiments -run table1,table6
+//	experiments -run fig5 -parallel 8 -cache-dir .expcache -json sweep.json
+//	experiments -run verify         # seed-invariance correctness gate
 //
 // Scale shrinks the Table 5 transaction counts proportionally; the paper's
 // full counts correspond to -scale 1.
+//
+// The figure sweeps run on the internal/harness job system: -parallel sets
+// the worker-pool size (default GOMAXPROCS), -cache-dir enables the on-disk
+// result cache (interrupted sweeps resume, re-runs are instant), -json
+// writes the per-job results as a tokentm-harness/v1 document, and progress
+// is reported per job on stderr (disable with -progress=false). Without
+// -json-timing the JSON is deterministic: byte-identical at any -parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"tokentm"
+	"tokentm/internal/harness"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated: table1,table2,table3,table4,table5,table6,fig1,fig5,all")
+	run := flag.String("run", "all", "comma-separated: table1,table2,table3,table4,table5,table6,fig1,fig5,verify,all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's per-workload transaction counts")
 	seeds := flag.Int("seeds", 3, "number of perturbed runs (error bars) for fig1/fig5")
 	chart := flag.Bool("chart", false, "render fig1/fig5 as ASCII bar charts in addition to tables")
 	seed := flag.Int64("seed", 1, "base seed")
+	parallel := flag.Int("parallel", 0, "harness worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = no cache)")
+	jsonOut := flag.String("json", "", "write per-job sweep results as JSON to this path (\"-\" = stdout)")
+	jsonTiming := flag.Bool("json-timing", false, "include host wall-clock and worker count in -json output (non-deterministic)")
+	progress := flag.Bool("progress", true, "report per-job sweep progress on stderr")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -35,6 +51,17 @@ func main() {
 	}
 	all := want["all"]
 	out := os.Stdout
+
+	var progw io.Writer
+	if *progress {
+		progw = os.Stderr
+	}
+	runner := tokentm.NewRunner(tokentm.SweepOptions{
+		Parallel:    *parallel,
+		CacheDir:    *cacheDir,
+		Progress:    progw,
+		KeepHistory: *jsonOut != "",
+	})
 
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
@@ -46,7 +73,28 @@ func main() {
 		t0 := time.Now()
 		return func() { fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(t0).Seconds()) }
 	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
+	sweepStart := time.Now()
+
+	if want["verify"] {
+		done := section(fmt.Sprintf("Verify: seed-invariance gate (scale=%.3g, seeds %d/%d)", *scale, *seed, *seed+1))
+		errs := tokentm.VerifyGrid(runner, *scale, *seed, *seed+1)
+		if len(errs) == 0 {
+			fmt.Fprintln(out, "PASS: all workload x variant cells seed-invariant")
+		} else {
+			for _, err := range errs {
+				fmt.Fprintln(out, "FAIL:", err)
+			}
+		}
+		done()
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+	}
 	if all || want["table1"] {
 		done := section("Table 1: Long-running Critical Sections (LCS)")
 		tokentm.WriteTable1(out, tokentm.Table1(*seed))
@@ -74,7 +122,10 @@ func main() {
 	}
 	if all || want["fig1"] {
 		done := section(fmt.Sprintf("Figure 1: Effect of False Positives (speedup vs LogTM-SE_Perf, scale=%.3g, %d seeds)", *scale, *seeds))
-		rows := tokentm.Figure1(*scale, seedList)
+		rows, err := tokentm.Figure1With(runner, *scale, seedList)
+		if err != nil {
+			fail(err)
+		}
 		vs := []tokentm.Variant{tokentm.VariantLogTMSEPerf, tokentm.VariantLogTMSE2xH3, tokentm.VariantLogTMSE4xH3}
 		tokentm.WriteSpeedups(out, rows, vs)
 		if *chart {
@@ -85,7 +136,10 @@ func main() {
 	}
 	if all || want["fig5"] {
 		done := section(fmt.Sprintf("Figure 5: TokenTM Performance (speedup vs LogTM-SE_Perf, scale=%.3g, %d seeds)", *scale, *seeds))
-		rows := tokentm.Figure5(*scale, seedList)
+		rows, err := tokentm.Figure5With(runner, *scale, seedList)
+		if err != nil {
+			fail(err)
+		}
 		tokentm.WriteSpeedups(out, rows, tokentm.Variants())
 		if *chart {
 			fmt.Fprintln(out)
@@ -97,5 +151,28 @@ func main() {
 		done := section(fmt.Sprintf("Table 6: TokenTM Specific Overheads (scale=%.3g)", *scale))
 		tokentm.WriteTable6(out, tokentm.Table6(*scale, *seed))
 		done()
+	}
+
+	if *jsonOut != "" {
+		w := out
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts := harness.JSONOptions{}
+		if *jsonTiming {
+			opts = harness.JSONOptions{
+				Timing:   true,
+				Parallel: runner.Workers(),
+				WallNS:   time.Since(sweepStart).Nanoseconds(),
+			}
+		}
+		if err := harness.WriteJSON(w, harness.CodeVersion(), runner.History(), opts); err != nil {
+			fail(err)
+		}
 	}
 }

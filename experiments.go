@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"tokentm/internal/harness"
 	"tokentm/internal/htm"
 	"tokentm/internal/lcs"
 	"tokentm/internal/plot"
@@ -30,6 +31,13 @@ type RunDetail struct {
 // variant. scale shrinks transaction counts for quick runs; seed perturbs
 // backoffs and generators.
 func RunWorkload(spec workload.Spec, v Variant, scale float64, seed int64) RunDetail {
+	d, _ := runWorkload(spec, v, scale, seed)
+	return d
+}
+
+// runWorkload is RunWorkload keeping the machine around for post-run
+// invariant checks.
+func runWorkload(spec workload.Spec, v Variant, scale float64, seed int64) (RunDetail, *System) {
 	sys := New(Config{Variant: v, Cores: evalCores, Seed: seed})
 	spec.Build(sys.M, evalCores, scale, seed)
 	cycles := sys.Run()
@@ -44,7 +52,75 @@ func RunWorkload(spec workload.Spec, v Variant, scale float64, seed int64) RunDe
 		d.FastCommits = tok.FastCommits
 		d.SlowCommits = tok.SlowCommits
 	}
-	return d
+	return d, sys
+}
+
+// ExperimentRun is the harness.RunFunc behind every sweep: it executes one
+// grid cell on a fresh machine and distills the Outcome the tables,
+// figures and BENCH files consume. For TokenTM variants it additionally
+// audits the double-entry token bookkeeping after the run, so every
+// harness job doubles as a correctness gate.
+func ExperimentRun(j harness.Job) (harness.Outcome, error) {
+	spec, ok := workload.ByName(j.Workload)
+	if !ok {
+		return harness.Outcome{}, fmt.Errorf("unknown workload %q", j.Workload)
+	}
+	v := Variant(j.Variant)
+	known := false
+	for _, kv := range Variants() {
+		if kv == v {
+			known = true
+		}
+	}
+	if !known {
+		return harness.Outcome{}, fmt.Errorf("unknown variant %q", j.Variant)
+	}
+	d, sys := runWorkload(spec, v, j.Scale, j.Seed)
+	out := harness.Outcome{
+		Cycles:      uint64(d.Cycles),
+		Commits:     uint64(len(d.Commits)),
+		Aborts:      d.Metrics.Aborts,
+		FastCommits: d.FastCommits,
+		SlowCommits: d.SlowCommits,
+		Extra: map[string]float64{
+			"conflicts":         float64(d.Metrics.Conflicts),
+			"false_conflicts":   float64(d.Metrics.FalseConflicts),
+			"stalls":            float64(d.Metrics.Stalls),
+			"hard_case_lookups": float64(d.Metrics.HardCaseLookups),
+		},
+	}
+	if tok := sys.TokenTM(); tok != nil {
+		if err := tok.CheckBookkeeping(); err != nil {
+			return out, fmt.Errorf("token bookkeeping after run: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// SweepOptions configures a harness runner over the experiment grid.
+type SweepOptions struct {
+	// Parallel is the worker count (0 = GOMAXPROCS).
+	Parallel int
+	// CacheDir enables the on-disk result cache when non-empty.
+	CacheDir string
+	// Progress receives per-job progress lines when non-nil.
+	Progress io.Writer
+	// KeepHistory retains every result for a combined JSON report.
+	KeepHistory bool
+}
+
+// NewRunner builds a harness runner executing ExperimentRun.
+func NewRunner(o SweepOptions) *harness.Runner {
+	r := &harness.Runner{
+		Run:         ExperimentRun,
+		Parallel:    o.Parallel,
+		Progress:    o.Progress,
+		KeepHistory: o.KeepHistory,
+	}
+	if o.CacheDir != "" {
+		r.Cache = &harness.Cache{Dir: o.CacheDir, Version: harness.CodeVersion()}
+	}
+	return r
 }
 
 // SpeedupRow is one workload's bars in Figure 1 or Figure 5: speedup of
@@ -57,30 +133,54 @@ type SpeedupRow struct {
 }
 
 // speedups runs the given workloads on the given variants over several
-// perturbation seeds and normalizes to LogTM-SE_Perf.
-func speedups(specs []workload.Spec, variants []Variant, scale float64, seeds []int64) []SpeedupRow {
+// perturbation seeds through the harness and normalizes to LogTM-SE_Perf.
+// The grid is swept in parallel (runner's worker count); aggregation walks
+// results in job order, so the rows are identical at any parallelism.
+func speedups(r *harness.Runner, specs []workload.Spec, variants []Variant, scale float64, seeds []int64) ([]SpeedupRow, error) {
+	all := []Variant{VariantLogTMSEPerf}
+	for _, v := range variants {
+		if v != VariantLogTMSEPerf {
+			all = append(all, v)
+		}
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	vnames := make([]string, len(all))
+	for i, v := range all {
+		vnames[i] = string(v)
+	}
+	results := r.Sweep(harness.Grid(names, vnames, scale, seeds))
+
+	samples := make(map[string]map[Variant]*stats.Sample, len(specs))
+	for _, res := range results {
+		if !res.OK() {
+			return nil, fmt.Errorf("job %s failed: %s", res.Job, res.Err)
+		}
+		byV := samples[res.Job.Workload]
+		if byV == nil {
+			byV = make(map[Variant]*stats.Sample, len(all))
+			samples[res.Job.Workload] = byV
+		}
+		s := byV[Variant(res.Job.Variant)]
+		if s == nil {
+			s = &stats.Sample{}
+			byV[Variant(res.Job.Variant)] = s
+		}
+		s.Add(float64(res.Outcome.Cycles))
+	}
+
 	var rows []SpeedupRow
 	for _, spec := range specs {
-		samples := make(map[Variant]*stats.Sample)
-		all := append([]Variant{VariantLogTMSEPerf}, variants...)
-		for _, v := range all {
-			if _, ok := samples[v]; ok {
-				continue
-			}
-			s := &stats.Sample{}
-			for _, seed := range seeds {
-				d := RunWorkload(spec, v, scale, seed)
-				s.Add(float64(d.Cycles))
-			}
-			samples[v] = s
-		}
-		perf := samples[VariantLogTMSEPerf].Mean()
+		byV := samples[spec.Name]
+		perf := byV[VariantLogTMSEPerf].Mean()
 		row := SpeedupRow{
 			Workload: spec.Name,
 			Speedup:  make(map[Variant]float64),
 			CI:       make(map[Variant]float64),
 		}
-		for v, s := range samples {
+		for v, s := range byV {
 			row.Speedup[v] = perf / s.Mean()
 			// First-order error propagation for the ratio.
 			if s.Mean() > 0 {
@@ -89,26 +189,75 @@ func speedups(specs []workload.Spec, variants []Variant, scale float64, seeds []
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
-// Figure1 reproduces the paper's Figure 1: the effect of signature false
-// positives. The four STAMP workloads run on LogTM-SE with 2xH3 and 4xH3
-// Bloom signatures, normalized to unimplementable perfect signatures.
-func Figure1(scale float64, seeds []int64) []SpeedupRow {
+// defaultRunner serves the legacy figure entry points: full parallelism,
+// no cache, no progress.
+func defaultRunner() *harness.Runner {
+	return &harness.Runner{Run: ExperimentRun}
+}
+
+// figure1Specs are the STAMP workloads of Figure 1.
+func figure1Specs() []workload.Spec {
 	var specs []workload.Spec
 	for _, s := range workload.Specs() {
 		if s.Suite == "STAMP" {
 			specs = append(specs, s)
 		}
 	}
-	return speedups(specs, []Variant{VariantLogTMSE2xH3, VariantLogTMSE4xH3}, scale, seeds)
+	return specs
 }
 
-// Figure5 reproduces the paper's Figure 5: all eight workloads on all five
-// HTM variants, speedup normalized to LogTM-SE_Perf.
+// Figure1With reproduces the paper's Figure 1 on the given runner: the
+// effect of signature false positives. The four STAMP workloads run on
+// LogTM-SE with 2xH3 and 4xH3 Bloom signatures, normalized to
+// unimplementable perfect signatures.
+func Figure1With(r *harness.Runner, scale float64, seeds []int64) ([]SpeedupRow, error) {
+	return speedups(r, figure1Specs(), []Variant{VariantLogTMSE2xH3, VariantLogTMSE4xH3}, scale, seeds)
+}
+
+// Figure1 is Figure1With on a default parallel runner; it panics if a
+// simulation fails (matching the historical serial behaviour).
+func Figure1(scale float64, seeds []int64) []SpeedupRow {
+	rows, err := Figure1With(defaultRunner(), scale, seeds)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// Figure5With reproduces the paper's Figure 5 on the given runner: all
+// eight workloads on all five HTM variants, speedup normalized to
+// LogTM-SE_Perf.
+func Figure5With(r *harness.Runner, scale float64, seeds []int64) ([]SpeedupRow, error) {
+	return speedups(r, workload.Specs(), Variants(), scale, seeds)
+}
+
+// Figure5 is Figure5With on a default parallel runner; it panics if a
+// simulation fails.
 func Figure5(scale float64, seeds []int64) []SpeedupRow {
-	return speedups(workload.Specs(), Variants(), scale, seeds)
+	rows, err := Figure5With(defaultRunner(), scale, seeds)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// VerifyGrid runs harness.Verify over one job per workload × variant cell
+// (each at seeds seedA/seedB) and returns one error per failing cell. It
+// is the cheap pre-sweep correctness gate behind `experiments -run verify`.
+func VerifyGrid(r *harness.Runner, scale float64, seedA, seedB int64) []error {
+	var errs []error
+	for _, spec := range workload.Specs() {
+		for _, v := range Variants() {
+			j := harness.Job{Workload: spec.Name, Variant: string(v), Scale: scale}
+			if err := r.Verify(j, seedA, seedB); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
 }
 
 // Table5Row is one row of the regenerated Table 5 (measured workload

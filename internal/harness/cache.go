@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-keyed on-disk result store. The key is a hash of the
+// job's parameters and the code version, so re-running a sweep only
+// executes jobs whose inputs changed: an interrupted sweep resumes where it
+// stopped, and a code change invalidates everything at once.
+//
+// Layout: one file per result, Dir/<hex key>.json, each holding the
+// Result JSON (including the Job, which Get cross-checks against the
+// requested job to guard against hash collisions and hand-edited files).
+// Files are written via a temporary file and rename, so a sweep killed
+// mid-write never leaves a truncated entry behind.
+type Cache struct {
+	// Dir is the cache directory (created on first Put).
+	Dir string
+	// Version is the code version mixed into every key; see CodeVersion.
+	Version string
+}
+
+// key derives the content hash of a job under this cache's code version.
+func (c *Cache) key(j Job) string {
+	h := sha256.New()
+	// %.17g round-trips every float64 exactly.
+	fmt.Fprintf(h, "v1|%s|%s|%s|%.17g|%d", c.Version, j.Workload, j.Variant, j.Scale, j.Seed)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// path returns the cache file for a job.
+func (c *Cache) path(j Job) string {
+	return filepath.Join(c.Dir, c.key(j)+".json")
+}
+
+// Get returns the cached result for j, if present and intact.
+func (c *Cache) Get(j Job) (Result, bool) {
+	data, err := os.ReadFile(c.path(j))
+	if err != nil {
+		return Result{}, false
+	}
+	var res Result
+	if json.Unmarshal(data, &res) != nil || res.Job != j || !res.OK() {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// Put stores a result atomically (write-to-temp then rename).
+func (c *Cache) Put(res Result) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(res.Job))
+}

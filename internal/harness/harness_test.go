@@ -1,0 +1,262 @@
+package harness_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"tokentm/internal/harness"
+)
+
+// fakeRun derives a deterministic Outcome from the job parameters alone,
+// so tests can predict results without a simulator.
+func fakeRun(j harness.Job) (harness.Outcome, error) {
+	c := uint64(len(j.Workload))*1000 + uint64(j.Seed)
+	return harness.Outcome{Cycles: c, Commits: c / 10, Aborts: c % 7}, nil
+}
+
+func grid(n int) []harness.Job {
+	var jobs []harness.Job
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, harness.Job{Workload: fmt.Sprintf("w%d", i), Variant: "V", Scale: 0.5, Seed: int64(i)})
+	}
+	return jobs
+}
+
+func TestSweepReturnsResultsInJobOrder(t *testing.T) {
+	jobs := grid(32)
+	r := &harness.Runner{Run: fakeRun, Parallel: 8}
+	results := r.Sweep(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Job != jobs[i] {
+			t.Fatalf("result %d is for job %v, want %v", i, res.Job, jobs[i])
+		}
+		want, _ := fakeRun(jobs[i])
+		if !reflect.DeepEqual(res.Outcome, want) {
+			t.Fatalf("result %d outcome %+v, want %+v", i, res.Outcome, want)
+		}
+		if !res.OK() || res.WallNS < 0 {
+			t.Fatalf("result %d not ok: %+v", i, res)
+		}
+	}
+	if r.Executed() != int64(len(jobs)) {
+		t.Fatalf("executed %d, want %d", r.Executed(), len(jobs))
+	}
+}
+
+func TestSweepIsolatesPanics(t *testing.T) {
+	run := func(j harness.Job) (harness.Outcome, error) {
+		if j.Seed == 3 {
+			panic("simulated machine exploded")
+		}
+		if j.Seed == 5 {
+			return harness.Outcome{}, fmt.Errorf("plain failure")
+		}
+		return fakeRun(j)
+	}
+	r := &harness.Runner{Run: run, Parallel: 4}
+	results := r.Sweep(grid(8))
+	for i, res := range results {
+		switch i {
+		case 3:
+			if res.OK() || !strings.Contains(res.Err, "simulated machine exploded") {
+				t.Fatalf("panicking job: %+v", res)
+			}
+			if !strings.Contains(res.Stack, "goroutine") {
+				t.Fatalf("no stack attached: %q", res.Stack)
+			}
+		case 5:
+			if res.OK() || res.Err != "plain failure" || res.Stack != "" {
+				t.Fatalf("failing job: %+v", res)
+			}
+		default:
+			if !res.OK() {
+				t.Fatalf("healthy job %d failed: %s", i, res.Err)
+			}
+		}
+	}
+}
+
+// TestCacheMakesSweepsResumable pre-populates the cache with part of the
+// grid and counts executed jobs on the re-run: only the missing jobs
+// execute, and served results are marked cached.
+func TestCacheMakesSweepsResumable(t *testing.T) {
+	jobs := grid(10)
+	cache := &harness.Cache{Dir: t.TempDir(), Version: "v-test"}
+
+	// First, an "interrupted" sweep that completed only the first 6 jobs.
+	first := &harness.Runner{Run: fakeRun, Parallel: 2, Cache: cache}
+	first.Sweep(jobs[:6])
+	if first.Executed() != 6 {
+		t.Fatalf("first sweep executed %d", first.Executed())
+	}
+
+	// The re-run of the full grid executes only the 4 missing jobs.
+	second := &harness.Runner{Run: fakeRun, Parallel: 2, Cache: cache}
+	results := second.Sweep(jobs)
+	if second.Executed() != 4 {
+		t.Fatalf("resumed sweep executed %d jobs, want 4", second.Executed())
+	}
+	for i, res := range results {
+		if want, _ := fakeRun(jobs[i]); !reflect.DeepEqual(res.Outcome, want) {
+			t.Fatalf("result %d corrupted by cache: %+v", i, res)
+		}
+		if cached := i < 6; res.Cached != cached {
+			t.Fatalf("result %d cached=%v, want %v", i, res.Cached, cached)
+		}
+	}
+
+	// A third run executes nothing at all.
+	third := &harness.Runner{Run: fakeRun, Parallel: 2, Cache: cache}
+	third.Sweep(jobs)
+	if third.Executed() != 0 {
+		t.Fatalf("fully cached sweep executed %d jobs", third.Executed())
+	}
+}
+
+func TestCacheKeyedByCodeVersion(t *testing.T) {
+	dir := t.TempDir()
+	jobs := grid(3)
+	r1 := &harness.Runner{Run: fakeRun, Parallel: 1, Cache: &harness.Cache{Dir: dir, Version: "rev-a"}}
+	r1.Sweep(jobs)
+	r2 := &harness.Runner{Run: fakeRun, Parallel: 1, Cache: &harness.Cache{Dir: dir, Version: "rev-b"}}
+	r2.Sweep(jobs)
+	if r2.Executed() != int64(len(jobs)) {
+		t.Fatalf("version change did not invalidate cache: executed %d", r2.Executed())
+	}
+}
+
+func TestCacheDoesNotServeFailures(t *testing.T) {
+	cache := &harness.Cache{Dir: t.TempDir(), Version: "v"}
+	boom := func(harness.Job) (harness.Outcome, error) { return harness.Outcome{}, fmt.Errorf("boom") }
+	r := &harness.Runner{Run: boom, Parallel: 1, Cache: cache}
+	r.Sweep(grid(1))
+	if _, ok := cache.Get(grid(1)[0]); ok {
+		t.Fatal("failed result landed in the cache")
+	}
+}
+
+// TestJSONByteStableAcrossParallelism is the determinism contract: the
+// deterministic JSON document is byte-identical whether the sweep ran on
+// one worker or many, with or without cache hits.
+func TestJSONByteStableAcrossParallelism(t *testing.T) {
+	jobs := grid(24)
+	emit := func(r *harness.Runner) []byte {
+		var buf bytes.Buffer
+		if err := harness.WriteJSON(&buf, "v-test", r.Sweep(jobs), harness.JSONOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := emit(&harness.Runner{Run: fakeRun, Parallel: 1})
+	parallel := emit(&harness.Runner{Run: fakeRun, Parallel: 8})
+	cached := emit(&harness.Runner{Run: fakeRun, Parallel: 8, Cache: &harness.Cache{Dir: t.TempDir(), Version: "v"}})
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("JSON differs between parallel=1 and parallel=8")
+	}
+	if !bytes.Equal(serial, cached) {
+		t.Fatal("JSON differs when served from cache")
+	}
+	if !bytes.Contains(serial, []byte(harness.SweepSchema)) {
+		t.Fatalf("missing schema marker in %s", serial)
+	}
+}
+
+func TestProgressReportsEveryJob(t *testing.T) {
+	var buf bytes.Buffer
+	safe := &syncWriter{w: &buf}
+	r := &harness.Runner{Run: fakeRun, Parallel: 4, Progress: safe}
+	r.Sweep(grid(9))
+	if got := strings.Count(buf.String(), "harness: ["); got != 9 {
+		t.Fatalf("%d progress lines for 9 jobs:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "[9/9]") {
+		t.Fatalf("no final count line:\n%s", buf.String())
+	}
+}
+
+// syncWriter serializes writes: Runner already locks around Progress
+// writes, but the race detector should see the buffer as ours.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestVerifyCatchesSeedDependence(t *testing.T) {
+	// Healthy run: commits independent of seed, fast+slow == commits.
+	healthy := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{Cycles: uint64(j.Seed) * 100, Commits: 50, FastCommits: 30, SlowCommits: 20}, nil
+	}
+	r := &harness.Runner{Run: healthy, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err != nil {
+		t.Fatalf("healthy verify failed: %v", err)
+	}
+
+	// Commit count leaking seed dependence.
+	leaky := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{Commits: uint64(50 + j.Seed)}, nil
+	}
+	r = &harness.Runner{Run: leaky, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("seed-dependent commits not caught")
+	}
+
+	// Fast/slow split that does not account for every commit.
+	unbalanced := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{Commits: 50, FastCommits: 30, SlowCommits: 10}, nil
+	}
+	r = &harness.Runner{Run: unbalanced, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("unbalanced fast/slow split not caught")
+	}
+
+	// Same seed twice is a verification bug, not a pass.
+	r = &harness.Runner{Run: healthy, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 3, 3); err == nil {
+		t.Fatal("identical seeds accepted")
+	}
+
+	// A panicking run fails verification instead of crashing it.
+	r = &harness.Runner{Run: func(harness.Job) (harness.Outcome, error) { panic("bad") }, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("panicking run passed verification")
+	}
+}
+
+func TestHistoryAccumulatesAcrossSweeps(t *testing.T) {
+	r := &harness.Runner{Run: fakeRun, Parallel: 2, KeepHistory: true}
+	r.Sweep(grid(4))
+	r.Sweep(grid(6)[4:])
+	hist := r.History()
+	if len(hist) != 6 {
+		t.Fatalf("history holds %d results", len(hist))
+	}
+	for i, res := range hist {
+		if res.Job != grid(6)[i] {
+			t.Fatalf("history out of order at %d: %+v", i, res.Job)
+		}
+	}
+}
+
+func TestGridRowMajorOrder(t *testing.T) {
+	jobs := harness.Grid([]string{"A", "B"}, []string{"x", "y"}, 1, []int64{1, 2})
+	if len(jobs) != 8 {
+		t.Fatalf("grid size %d", len(jobs))
+	}
+	want := harness.Job{Workload: "A", Variant: "y", Scale: 1, Seed: 2}
+	if jobs[3] != want {
+		t.Fatalf("jobs[3] = %+v, want %+v", jobs[3], want)
+	}
+}

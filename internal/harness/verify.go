@@ -1,0 +1,43 @@
+package harness
+
+import "fmt"
+
+// Verify is a cheap correctness gate: it runs the same job at two different
+// seeds and cross-checks the metrics that must be seed-invariant. Seeds
+// only perturb backoffs and generator draws — every workload still commits
+// the same number of transactions, and on TokenTM every commit takes
+// exactly one of the two release paths — so any divergence means the
+// simulator (or the cache key feeding it) is broken:
+//
+//   - commit counts must match across seeds;
+//   - fast + slow release commits must account for every commit (when the
+//     variant splits them, i.e. the counts are nonzero);
+//   - both runs must succeed (the RunFunc is expected to fold deeper
+//     invariants, like TokenTM's token-bookkeeping balance, into its error).
+//
+// Verify bypasses the cache deliberately: a verification that reads stale
+// results verifies nothing.
+func (r *Runner) Verify(j Job, seedA, seedB int64) error {
+	if seedA == seedB {
+		return fmt.Errorf("harness: verify needs two distinct seeds, got %d twice", seedA)
+	}
+	ja, jb := j, j
+	ja.Seed, jb.Seed = seedA, seedB
+	var outs [2]Outcome
+	for i, job := range []Job{ja, jb} {
+		out, errStr, _ := safeRun(r.Run, job)
+		if errStr != "" {
+			return fmt.Errorf("harness: verify %s: %s", job, errStr)
+		}
+		if split := out.FastCommits + out.SlowCommits; split != 0 && split != out.Commits {
+			return fmt.Errorf("harness: verify %s: fast %d + slow %d != commits %d",
+				job, out.FastCommits, out.SlowCommits, out.Commits)
+		}
+		outs[i] = out
+	}
+	if outs[0].Commits != outs[1].Commits {
+		return fmt.Errorf("harness: verify %s: commit count depends on seed (%d at seed %d, %d at seed %d)",
+			j, outs[0].Commits, seedA, outs[1].Commits, seedB)
+	}
+	return nil
+}

@@ -10,7 +10,9 @@ import (
 	"sort"
 )
 
-// Sample accumulates observations with Welford's online algorithm.
+// Sample accumulates observations with Welford's online algorithm. It also
+// retains the raw observations, so order statistics (Median, Percentile)
+// are available alongside the running moments.
 type Sample struct {
 	n    int
 	mean float64
@@ -18,10 +20,12 @@ type Sample struct {
 	min  float64
 	max  float64
 	sum  float64
+	vals []float64
 }
 
 // Add records one observation.
 func (s *Sample) Add(x float64) {
+	s.vals = append(s.vals, x)
 	s.n++
 	if s.n == 1 {
 		s.min, s.max = x, x
@@ -84,6 +88,14 @@ func (s *Sample) CI95() float64 {
 	}
 	return t * s.StdDev() / math.Sqrt(float64(s.n))
 }
+
+// Percentile returns the p-th percentile (0..100) of the observations with
+// linear interpolation; 0 with no observations, the single observation
+// with one.
+func (s *Sample) Percentile(p float64) float64 { return Percentile(s.vals, p) }
+
+// Median returns the 50th percentile of the observations.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
 
 // String formats the sample as "mean ± ci (n=..)".
 func (s *Sample) String() string {

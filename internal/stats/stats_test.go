@@ -107,3 +107,43 @@ func TestString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestSampleMedianAndPercentile(t *testing.T) {
+	// Edge cases first: empty and single-observation samples.
+	var empty Sample
+	if empty.Median() != 0 || empty.Percentile(95) != 0 {
+		t.Fatalf("empty sample: median=%f p95=%f", empty.Median(), empty.Percentile(95))
+	}
+	var one Sample
+	one.Add(42)
+	if one.Median() != 42 || one.Percentile(0) != 42 || one.Percentile(100) != 42 {
+		t.Fatalf("single sample: median=%f", one.Median())
+	}
+
+	var s Sample
+	for _, x := range []float64{9, 1, 7, 3, 5} { // unsorted on purpose
+		s.Add(x)
+	}
+	if s.Median() != 5 {
+		t.Fatalf("odd-n median=%f", s.Median())
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 9 {
+		t.Fatalf("extremes: %f..%f", s.Percentile(0), s.Percentile(100))
+	}
+	// p25 of {1,3,5,7,9} interpolates at position 1.0 exactly.
+	if s.Percentile(25) != 3 {
+		t.Fatalf("p25=%f", s.Percentile(25))
+	}
+
+	var even Sample
+	for _, x := range []float64{4, 2, 8, 6} {
+		even.Add(x)
+	}
+	if even.Median() != 5 {
+		t.Fatalf("even-n median=%f", even.Median())
+	}
+	// Order statistics must not disturb the running moments.
+	if even.Mean() != 5 || even.N() != 4 {
+		t.Fatalf("moments disturbed: mean=%f n=%d", even.Mean(), even.N())
+	}
+}

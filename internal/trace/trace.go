@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -84,11 +85,19 @@ func (e Event) String() string {
 }
 
 // Tracer is a bounded ring buffer of events.
+//
+// A Tracer is bound to exactly one simulated machine: it is not
+// synchronized, and simulated machines are single-goroutine worlds, so
+// sharing one Tracer between the machines of a parallel sweep would
+// interleave unrelated event streams and race on the ring. Wrap enforces
+// the contract by panicking when a Tracer is attached to a second system;
+// build one Tracer per machine instead.
 type Tracer struct {
 	events []Event
 	next   int
 	seq    uint64
 	full   bool
+	bound  htm.System
 }
 
 // NewTracer returns a tracer keeping the most recent capacity events.
@@ -140,6 +149,35 @@ func (t *Tracer) Dump(w io.Writer) {
 	}
 }
 
+// jsonEvent is the wire form of an Event: the kind as its symbolic name,
+// zero-valued fields elided.
+type jsonEvent struct {
+	Seq     uint64    `json:"seq"`
+	Kind    string    `json:"kind"`
+	TID     mem.TID   `json:"tid"`
+	Core    int       `json:"core"`
+	Addr    mem.Addr  `json:"addr,omitempty"`
+	Latency mem.Cycle `json:"latency,omitempty"`
+	Enemies []mem.TID `json:"enemies,omitempty"`
+}
+
+// DumpJSON writes the retained events oldest-first as one indented JSON
+// array, so harness failure reports can attach the event ring of a failed
+// job in machine-readable form.
+func (t *Tracer) DumpJSON(w io.Writer) error {
+	events := t.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		out[i] = jsonEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), TID: e.TID, Core: e.Core,
+			Addr: e.Addr, Latency: e.Latency, Enemies: e.Enemies,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // System decorates an htm.System with tracing.
 type System struct {
 	inner  htm.System
@@ -148,8 +186,14 @@ type System struct {
 
 var _ htm.System = (*System)(nil)
 
-// Wrap returns sys decorated with tr.
+// Wrap returns sys decorated with tr. A Tracer observes exactly one
+// machine's HTM: wrapping a second system with the same Tracer panics (see
+// the Tracer contract).
 func Wrap(sys htm.System, tr *Tracer) *System {
+	if tr.bound != nil && tr.bound != sys {
+		panic("trace: Tracer already bound to another htm.System; use one Tracer per machine")
+	}
+	tr.bound = sys
 	return &System{inner: sys, tracer: tr}
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -103,5 +104,59 @@ func TestDecoratorTransparency(t *testing.T) {
 	}
 	if lat := w.ContextSwitch(0, nil, nil); lat == 0 {
 		t.Fatal("context switch latency")
+	}
+}
+
+// TestTracerBoundToOneMachine pins the contract the parallel sweep harness
+// depends on: a Tracer observes exactly one machine's HTM, so event rings
+// from concurrent machines can never interleave.
+func TestTracerBoundToOneMachine(t *testing.T) {
+	m1 := sim.New(sim.Config{Cores: 1})
+	m2 := sim.New(sim.Config{Cores: 1})
+	tr := NewTracer(16)
+	sys1 := core.New(m1.Mem, m1.Store)
+	Wrap(sys1, tr)
+
+	// Re-wrapping the same system is idempotent and allowed.
+	Wrap(sys1, tr)
+
+	// Wrapping a second machine's system with the same Tracer panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrapping a second system with a bound Tracer must panic")
+		}
+	}()
+	Wrap(core.New(m2.Mem, m2.Store), tr)
+}
+
+func TestDumpJSON(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{Kind: EvBegin, TID: 3, Core: 1})
+	tr.Record(Event{Kind: EvConflict, TID: 3, Core: 1, Addr: 0x1000, Latency: 20, Enemies: []mem.TID{7}})
+	tr.Record(Event{Kind: EvCommitFast, TID: 3, Core: 1, Latency: 4})
+
+	var buf bytes.Buffer
+	if err := tr.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0]["kind"] != "begin" || events[1]["kind"] != "conflict" || events[2]["kind"] != "commit-fast" {
+		t.Fatalf("kinds: %v", events)
+	}
+	if events[1]["latency"].(float64) != 20 {
+		t.Fatalf("conflict latency: %v", events[1])
+	}
+	if events[0]["seq"].(float64) != 0 || events[2]["seq"].(float64) != 2 {
+		t.Fatalf("sequence numbers: %v", events)
+	}
+	enemies := events[1]["enemies"].([]any)
+	if len(enemies) != 1 || enemies[0].(float64) != 7 {
+		t.Fatalf("enemies: %v", events[1])
 	}
 }

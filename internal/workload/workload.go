@@ -118,6 +118,17 @@ func Specs() []Spec {
 	}
 }
 
+// Names returns the workload names in Table 5 order: the canonical
+// workload axis for a harness job grid.
+func Names() []string {
+	specs := Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // ByName returns the spec with the given name.
 func ByName(name string) (Spec, bool) {
 	for _, s := range Specs() {

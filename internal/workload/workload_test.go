@@ -113,3 +113,19 @@ func TestScaling(t *testing.T) {
 		t.Fatalf("commits %d, want %d", len(m.Commits), want)
 	}
 }
+
+func TestNamesMatchSpecs(t *testing.T) {
+	names := Names()
+	specs := Specs()
+	if len(names) != len(specs) {
+		t.Fatalf("%d names for %d specs", len(names), len(specs))
+	}
+	for i, s := range specs {
+		if names[i] != s.Name {
+			t.Fatalf("names[%d]=%q, spec %q", i, names[i], s.Name)
+		}
+		if _, ok := ByName(names[i]); !ok {
+			t.Fatalf("ByName misses %q", names[i])
+		}
+	}
+}
