@@ -10,13 +10,14 @@ BENCH_SCALE ?= 0.02
 BENCH_SEEDS ?= 3
 BENCH_PARALLEL ?= 0
 
-.PHONY: verify race bench clean-cache
+.PHONY: verify race bench microbench profile clean-cache
 
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) test ./...
+	$(GO) run ./cmd/experiments -run verify -scale 0.01 -progress=false
 
 # Race-enabled proof that parallel sweeps share no mutable state between
 # simulated machines (harness worker pool + scheduler contract).
@@ -27,6 +28,20 @@ bench:
 	$(GO) run ./cmd/experiments -run verify,fig1,fig5 \
 		-scale $(BENCH_SCALE) -seeds $(BENCH_SEEDS) -parallel $(BENCH_PARALLEL) \
 		-json BENCH_experiments.json -json-timing
+
+# Protocol-path microbenchmarks (probe, commit, abort) plus the end-to-end
+# small sweep, with allocation counts. Output is benchstat-comparable: save
+# BENCH_micro.txt before a change and feed both files to benchstat.
+microbench:
+	{ $(GO) test -run '^$$' -bench 'Probe|Commit|AbortUnroll' -benchmem -count 3 ./internal/core ; \
+	  $(GO) test -run '^$$' -bench 'SmallSweep' -benchmem -count 3 . ; } | tee BENCH_micro.txt
+
+# CPU + heap profiles of the hottest protocol path (software-release
+# commits). Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCommit/software' -benchtime 2s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/core
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
 
 clean-cache:
 	rm -rf .expcache

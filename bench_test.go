@@ -210,6 +210,27 @@ func BenchmarkAblationSignatureKind(b *testing.B) {
 	}
 }
 
+// BenchmarkSmallSweep runs a small experiment grid (2 workloads × 2
+// variants) end to end through the harness, serially. It is the macro
+// companion to internal/core's protocol-path microbenchmarks: total
+// allocations and wall time per sweep bound how far publication-scale
+// sweeps can push before the allocator throttles them.
+func BenchmarkSmallSweep(b *testing.B) {
+	jobs := harness.Grid(
+		[]string{"Cholesky", "Vacation-High"},
+		[]string{string(VariantTokenTM), string(VariantLogTMSE4xH3)},
+		0.005, []int64{1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(SweepOptions{Parallel: 1})
+		for _, res := range r.Sweep(jobs) {
+			if !res.OK() {
+				b.Fatalf("job %s failed: %s", res.Job, res.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: wall-clock
 // time per simulated run of 16k transactional accesses on one core.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -81,10 +81,10 @@ func main() {
 	sweepStart := time.Now()
 
 	if want["verify"] {
-		done := section(fmt.Sprintf("Verify: seed-invariance gate (scale=%.3g, seeds %d/%d)", *scale, *seed, *seed+1))
+		done := section(fmt.Sprintf("Verify: cross-run identity + seed-invariance gate (scale=%.3g, seeds %d/%d)", *scale, *seed, *seed+1))
 		errs := tokentm.VerifyGrid(runner, *scale, *seed, *seed+1)
 		if len(errs) == 0 {
-			fmt.Fprintln(out, "PASS: all workload x variant cells seed-invariant")
+			fmt.Fprintln(out, "PASS: all workload x variant cells run-identical and seed-invariant")
 		} else {
 			for _, err := range errs {
 				fmt.Fprintln(out, "FAIL:", err)

@@ -12,6 +12,8 @@
 package coherence
 
 import (
+	"math/bits"
+
 	"tokentm/internal/cache"
 	"tokentm/internal/interconnect"
 	"tokentm/internal/mem"
@@ -129,17 +131,22 @@ func (m *MemSys) entry(b mem.BlockAddr) *dirEntry {
 	return e
 }
 
-// Sharers returns the cores currently holding a copy of b.
-func (m *MemSys) Sharers(b mem.BlockAddr) []int {
-	e, ok := m.dir[b]
-	if !ok {
-		return nil
+// SharerMask returns the bitmask of cores currently holding a copy of b
+// (bit c set means core c has a copy). This is the allocation-free form of
+// Sharers, for latency-bearing probe loops.
+func (m *MemSys) SharerMask(b mem.BlockAddr) uint32 {
+	if e, ok := m.dir[b]; ok {
+		return e.sharers
 	}
+	return 0
+}
+
+// Sharers returns the cores currently holding a copy of b, in core order
+// (diagnostics and tests; hot paths walk SharerMask instead).
+func (m *MemSys) Sharers(b mem.BlockAddr) []int {
 	var out []int
-	for c := 0; c < m.NumCores; c++ {
-		if e.sharers&(1<<uint(c)) != 0 {
-			out = append(out, c)
-		}
+	for mask := m.SharerMask(b); mask != 0; mask &= mask - 1 {
+		out = append(out, bits.TrailingZeros32(mask))
 	}
 	return out
 }

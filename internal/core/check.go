@@ -61,7 +61,7 @@ func (t *TokenTM) CheckBookkeeping() error {
 	}
 
 	credits := make(map[mem.BlockAddr]uint32)
-	for _, th := range t.byTID {
+	for _, th := range t.threads {
 		if !th.InXact() {
 			if th.Log.Len() != 0 {
 				return fmt.Errorf("thread X%d: %d log records with no active transaction", th.TID, th.Log.Len())
@@ -73,13 +73,17 @@ func (t *TokenTM) CheckBookkeeping() error {
 			perLog[rec.Block] += rec.Tokens
 			credits[rec.Block] += rec.Tokens
 		}
-		for b, n := range th.Xact.Tokens {
-			if perLog[b] != n {
-				return fmt.Errorf("thread X%d block %v: token index %d != log credits %d", th.TID, b, n, perLog[b])
+		var err error
+		th.Xact.Tokens.Visit(func(b mem.BlockAddr, n uint32) {
+			if perLog[b] != n && err == nil {
+				err = fmt.Errorf("thread X%d block %v: token index %d != log credits %d", th.TID, b, n, perLog[b])
 			}
+		})
+		if err != nil {
+			return err
 		}
 		for b, n := range perLog {
-			if th.Xact.Tokens[b] != n {
+			if th.Xact.Tokens.Get(b) != n {
 				return fmt.Errorf("thread X%d block %v: log credits %d missing from index", th.TID, b, n)
 			}
 		}

@@ -16,6 +16,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"tokentm/internal/cache"
 	"tokentm/internal/coherence"
@@ -41,7 +43,17 @@ type TokenTM struct {
 	overflow *metastate.OverflowTable
 
 	byTID   map[mem.TID]*htm.Thread
+	threads []*htm.Thread // registered threads, sorted by TID
 	running []*htm.Thread // thread currently on each core
+
+	// Scratch storage reused by probe and enemy enumeration so the hot
+	// paths allocate nothing. Results aliasing these buffers (probeResult
+	// readers, enemiesOf slices) are valid only until the next probe or
+	// enemy enumeration on this machine — the simulator serializes all
+	// accesses, and every consumer finishes before the next access starts.
+	readerScratch []mem.TID
+	enemyScratch  []*htm.Xact
+	tidScratch    []mem.TID
 
 	// Metrics aggregates evaluation counters.
 	Metrics htm.Metrics
@@ -99,8 +111,20 @@ func (t *TokenTM) Name() string { return t.name }
 // Stats exposes the variant's metrics.
 func (t *TokenTM) Stats() *htm.Metrics { return &t.Metrics }
 
-// Register introduces a thread.
-func (t *TokenTM) Register(th *htm.Thread) { t.byTID[th.TID] = th }
+// Register introduces a thread, keeping the thread list sorted by TID so
+// every walk over "all threads" (hard-case lookups, anonymous-token
+// revocation, bookkeeping checks) visits them in a fixed order.
+func (t *TokenTM) Register(th *htm.Thread) {
+	i := sort.Search(len(t.threads), func(i int) bool { return t.threads[i].TID >= th.TID })
+	if i < len(t.threads) && t.threads[i].TID == th.TID {
+		t.threads[i] = th
+	} else {
+		t.threads = append(t.threads, nil)
+		copy(t.threads[i+1:], t.threads[i:])
+		t.threads[i] = th
+	}
+	t.byTID[th.TID] = th
+}
 
 // RunningOn records which thread occupies a core.
 func (t *TokenTM) RunningOn(core int, th *htm.Thread) { t.running[core] = th }
@@ -179,15 +203,17 @@ func (t *TokenTM) CopyLost(core int, b mem.BlockAddr, lmeta metastate.L1Meta, re
 		// Anonymous tokens: conservatively revoke every transaction
 		// holding tokens on this block (rare; only after context
 		// switches fold counts).
-		for _, th := range t.byTID {
-			if th.InXact() && th.Xact.Tokens[b] > 0 {
+		for _, th := range t.threads {
+			if th.InXact() && th.Xact.Tokens.Get(b) > 0 {
 				th.Xact.FastOK = false
 			}
 		}
 	}
 }
 
-// probeResult summarizes the fused global metastate of a block.
+// probeResult summarizes the fused global metastate of a block. The readers
+// slice is backed by the system's scratch buffer: it is valid only until the
+// next probe.
 type probeResult struct {
 	sum     uint32
 	writer  mem.TID   // NoTID if no writer
@@ -195,31 +221,36 @@ type probeResult struct {
 	anon    uint32    // anonymous reader tokens
 }
 
+// collect folds one metastate copy into the probe summary.
+func (p *probeResult) collect(b mem.BlockAddr, m metastate.Meta) {
+	switch {
+	case m.IsZero():
+	case m.IsWriter():
+		if p.writer != mem.NoTID && p.writer != m.TID {
+			panic(fmt.Sprintf("tokentm: two writers on %v: X%d and X%d", b, p.writer, m.TID))
+		}
+		p.writer = m.TID
+	case m.IsIdentified():
+		p.readers = append(p.readers, m.TID)
+	default:
+		p.anon += m.Sum
+	}
+}
+
 // probe fuses the home metastate with every L1 copy's metabits — the same
 // information the hardware requester assembles from the data response and
-// invalidation-ack piggybacks (§5.2).
+// invalidation-ack piggybacks (§5.2). It runs on every transactional miss
+// and every store, so it allocates nothing: sharers are walked as a bitmask
+// and the reader list reuses the system's scratch buffer.
 func (t *TokenTM) probe(b mem.BlockAddr) probeResult {
-	var p probeResult
-	collect := func(m metastate.Meta) {
-		switch {
-		case m.IsZero():
-		case m.IsWriter():
-			if p.writer != mem.NoTID && p.writer != m.TID {
-				panic(fmt.Sprintf("tokentm: two writers on %v: X%d and X%d", b, p.writer, m.TID))
-			}
-			p.writer = m.TID
-		case m.IsIdentified():
-			p.readers = append(p.readers, m.TID)
-		default:
-			p.anon += m.Sum
+	p := probeResult{readers: t.readerScratch[:0]}
+	p.collect(b, t.home[b])
+	for mask := t.ms.SharerMask(b); mask != 0; mask &= mask - 1 {
+		if line := t.ms.LineAt(bits.TrailingZeros32(mask), b); line != nil {
+			p.collect(b, line.Meta.Logical())
 		}
 	}
-	collect(t.home[b])
-	for _, c := range t.ms.Sharers(b) {
-		if line := t.ms.LineAt(c, b); line != nil {
-			collect(line.Meta.Logical())
-		}
-	}
+	t.readerScratch = p.readers[:0]
 	if p.writer != mem.NoTID {
 		p.sum = metastate.T
 		if p.anon > 0 || len(p.readers) > 0 {
@@ -232,39 +263,58 @@ func (t *TokenTM) probe(b mem.BlockAddr) probeResult {
 }
 
 // enemiesOf maps identified TIDs (excluding self) to their active
-// transactions.
+// transactions, deduplicating without allocation (probe reader lists are a
+// handful of entries, so the quadratic scan beats a map). The returned slice
+// reuses scratch storage: it is valid only until the next enemy enumeration.
 func (t *TokenTM) enemiesOf(tids []mem.TID, self mem.TID) []*htm.Xact {
-	var out []*htm.Xact
-	seen := make(map[mem.TID]bool)
-	for _, id := range tids {
-		if id == self || id == mem.NoTID || seen[id] {
+	out := t.enemyScratch[:0]
+	for i, id := range tids {
+		if id == self || id == mem.NoTID || containsTID(tids[:i], id) {
 			continue
 		}
-		seen[id] = true
 		if th := t.byTID[id]; th != nil && th.InXact() {
 			out = append(out, th.Xact)
 		}
 	}
+	t.enemyScratch = out
 	return out
+}
+
+// enemiesOf1 is enemiesOf for a single candidate TID.
+func (t *TokenTM) enemiesOf1(id, self mem.TID) []*htm.Xact {
+	t.tidScratch = append(t.tidScratch[:0], id)
+	return t.enemiesOf(t.tidScratch, self)
+}
+
+func containsTID(tids []mem.TID, id mem.TID) bool {
+	for _, t := range tids {
+		if t == id {
+			return true
+		}
+	}
+	return false
 }
 
 // hardCaseLookup implements §5.2's hardest case: when anonymous reader
 // tokens hide the enemy set, the contention manager walks the logs of
-// active transactions. The returned latency is proportional to the log
-// records scanned.
+// active transactions — in sorted TID order, so the walk (and the enemy
+// list it builds) is identical across identical runs. The returned latency
+// is proportional to the log records scanned; the slice reuses the enemy
+// scratch buffer.
 func (t *TokenTM) hardCaseLookup(b mem.BlockAddr, self mem.TID) ([]*htm.Xact, mem.Cycle) {
 	t.Metrics.HardCaseLookups++
-	var enemies []*htm.Xact
+	enemies := t.enemyScratch[:0]
 	var lat mem.Cycle
-	for _, th := range t.byTID {
+	for _, th := range t.threads {
 		if !th.InXact() || th.TID == self {
 			continue
 		}
 		lat += mem.Cycle(th.Log.Len()) * htm.LogWalkPerRecordCycles
-		if th.Xact.Tokens[b] > 0 {
+		if th.Xact.Tokens.Get(b) > 0 {
 			enemies = append(enemies, th.Xact)
 		}
 	}
+	t.enemyScratch = enemies
 	return enemies, lat
 }
 
@@ -359,7 +409,7 @@ func (t *TokenTM) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.
 			self = x.TID
 		}
 		if p.writer != mem.NoTID && p.writer != self {
-			enemies := t.enemiesOf([]mem.TID{p.writer}, self)
+			enemies := t.enemiesOf1(p.writer, self)
 			return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
 		}
 		lat := t.ms.Access(core, b, false)
@@ -374,14 +424,14 @@ func (t *TokenTM) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.
 	// Resident copy: local metabits carry the whole truth about writers.
 	if x == nil {
 		if line.Meta.Wp {
-			enemies := t.enemiesOf([]mem.TID{mem.TID(line.Meta.Attr)}, mem.NoTID)
+			enemies := t.enemiesOf1(mem.TID(line.Meta.Attr), mem.NoTID)
 			return 0, t.conflict(nil, enemies, retries, coherence.L1HitCycles, confNonXact)
 		}
 		lat := t.ms.Access(core, b, false)
 		return t.store.Load(addr), htm.Access{Latency: lat}
 	}
 	if line.Meta.Wp && mem.TID(line.Meta.Attr) != x.TID {
-		enemies := t.enemiesOf([]mem.TID{mem.TID(line.Meta.Attr)}, x.TID)
+		enemies := t.enemiesOf1(mem.TID(line.Meta.Attr), x.TID)
 		return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
 	}
 	lat := t.ms.Access(core, b, false)
@@ -398,7 +448,7 @@ func (t *TokenTM) acquireRead(th *htm.Thread, line *cache.Line, b mem.BlockAddr)
 	}
 	var lat mem.Cycle
 	if res.TokensAcquired > 0 {
-		x.Tokens[b] += res.TokensAcquired
+		x.Tokens.Add(b, res.TokensAcquired)
 		rAddr, rSize := th.Log.AppendToken(b, res.TokensAcquired)
 		lat += t.logWrite(th, rAddr, rSize)
 	}
@@ -436,9 +486,16 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 	p := t.probe(b)
 	if x == nil {
 		// Strong atomicity: a non-transactional store conflicts with any
-		// transactional tokens.
+		// transactional tokens. A writer excludes readers (probe enforces
+		// this), so the candidate set is exactly one of the two — never
+		// readers plus a NoTID writer sentinel.
 		if p.sum > 0 {
-			enemies := t.enemiesOf(append(p.readers, p.writer), mem.NoTID)
+			var enemies []*htm.Xact
+			if p.writer != mem.NoTID {
+				enemies = t.enemiesOf1(p.writer, mem.NoTID)
+			} else {
+				enemies = t.enemiesOf(p.readers, mem.NoTID)
+			}
 			if uint32(len(enemies)) < minNonWriter(p) {
 				more, walkLat := t.hardCaseLookup(b, mem.NoTID)
 				enemies = more
@@ -451,13 +508,13 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 		return htm.Access{Latency: lat}
 	}
 
-	mine := x.Tokens[b]
+	mine := x.Tokens.Get(b)
 	var needed uint32
 	switch {
 	case p.writer == x.TID:
 		needed = 0
 	case p.writer != mem.NoTID:
-		return t.conflict(x, t.enemiesOf([]mem.TID{p.writer}, x.TID), retries, coherence.L1HitCycles, confWriteVsWriter)
+		return t.conflict(x, t.enemiesOf1(p.writer, x.TID), retries, coherence.L1HitCycles, confWriteVsWriter)
 	default:
 		others := p.sum - mine
 		if others > 0 {
@@ -488,7 +545,7 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 	} else if needed != 0 {
 		panic("tokentm: rewritten block missing tokens")
 	}
-	x.Tokens[b] = mine + needed
+	x.Tokens.Add(b, needed)
 	t.store.StoreWord(addr, val)
 	return htm.Access{Latency: lat}
 }
@@ -527,7 +584,7 @@ func (t *TokenTM) Commit(th *htm.Thread) (mem.Cycle, bool) {
 	if t.fastRelease && x.FastOK {
 		t.ms.L1s[th.Core].FlashClearRW()
 		th.Log.Reset()
-		x.Tokens = make(map[mem.BlockAddr]uint32)
+		x.Tokens.Reset()
 		x.Active = false
 		t.FastCommits++
 		return htm.FastCommitCycles, true
@@ -550,12 +607,15 @@ func (t *TokenTM) softwareRelease(th *htm.Thread) mem.Cycle {
 		lat += t.ms.Access(core, (th.Log.Base() + mem.Addr(offset)).Block(), false)
 		offset += rec.Bytes()
 	}
-	for b, total := range x.Tokens {
+	// Release in ascending block order — TokenSet keeps its block list
+	// sorted, so the simulated access sequence (and therefore cache state
+	// and cycle totals) is identical across identical runs.
+	for _, b := range x.Tokens.Blocks() {
 		lat += t.ms.Access(core, b, false)
-		t.releaseBlock(th, b, total)
+		t.releaseBlock(th, b, x.Tokens.Get(b))
 	}
 	th.Log.Reset()
-	x.Tokens = make(map[mem.BlockAddr]uint32)
+	x.Tokens.Reset()
 	return lat
 }
 
@@ -646,12 +706,13 @@ func (t *TokenTM) Abort(th *htm.Thread) mem.Cycle {
 			t.writeBlock(rec.Block, rec.Old)
 		}
 	}
-	for b, total := range x.Tokens {
+	// Ascending block order, matching softwareRelease's determinism rule.
+	for _, b := range x.Tokens.Blocks() {
 		lat += t.ms.Access(core, b, false)
-		t.releaseBlock(th, b, total)
+		t.releaseBlock(th, b, x.Tokens.Get(b))
 	}
 	th.Log.Reset()
-	x.Tokens = make(map[mem.BlockAddr]uint32)
+	x.Tokens.Reset()
 	x.Active = false
 	t.Metrics.Aborts++
 	return lat

@@ -338,7 +338,7 @@ func TestReacquireAfterEviction(t *testing.T) {
 	r.load(x, blkA)
 	r.ms.EvictAll(blkA.Block())
 	r.load(x, blkA)
-	if got := x.Xact.Tokens[blkA.Block()]; got != 2 {
+	if got := x.Xact.Tokens.Get(blkA.Block()); got != 2 {
 		t.Fatalf("tokens after re-acquire = %d, want 2", got)
 	}
 	r.check()
@@ -400,7 +400,7 @@ func TestUpgradeAfterAnonymization(t *testing.T) {
 		t.Fatalf("home: %v", got)
 	}
 	r.mustOK(r.store(x, blkA, 9))
-	if got := x.Xact.Tokens[blkA.Block()]; got != metastate.T {
+	if got := x.Xact.Tokens.Get(blkA.Block()); got != metastate.T {
 		t.Fatalf("tokens after upgrade: %d", got)
 	}
 	r.check()

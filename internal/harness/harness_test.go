@@ -235,6 +235,35 @@ func TestVerifyCatchesSeedDependence(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesCrossRunNondeterminism(t *testing.T) {
+	// A RunFunc whose cycles drift between calls at the same seed models a
+	// simulator leaking unordered state (e.g. map-iteration access order)
+	// into its timing. Commits stay seed-invariant, so only the identity
+	// gate can catch this.
+	calls := 0
+	flaky := func(j harness.Job) (harness.Outcome, error) {
+		calls++
+		return harness.Outcome{Cycles: 1000 + uint64(calls), Commits: 50, FastCommits: 30, SlowCommits: 20}, nil
+	}
+	r := &harness.Runner{Run: flaky, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("cross-run nondeterminism not caught")
+	}
+
+	// Extra-map differences must also fail identity: canonical JSON sorts
+	// keys, so equal maps pass and differing values fail.
+	calls = 0
+	extraFlaky := func(j harness.Job) (harness.Outcome, error) {
+		calls++
+		return harness.Outcome{Cycles: 1000, Commits: 50,
+			Extra: map[string]float64{"hard_case_lookups": float64(calls)}}, nil
+	}
+	r = &harness.Runner{Run: extraFlaky, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("extra-map nondeterminism not caught")
+	}
+}
+
 func TestHistoryAccumulatesAcrossSweeps(t *testing.T) {
 	r := &harness.Runner{Run: fakeRun, Parallel: 2, KeepHistory: true}
 	r.Sweep(grid(4))

@@ -88,10 +88,11 @@ type Xact struct {
 	// revoked when a line holding this transaction's tokens leaves the L1
 	// or the thread is context switched (§4.4).
 	FastOK bool
-	// Tokens maps each block to the tokens this transaction holds on it
-	// (the log is the ground truth; this is the index used for release
-	// and for self-conflict checks).
-	Tokens map[mem.BlockAddr]uint32
+	// Tokens indexes the tokens this transaction holds per block (the log
+	// is the ground truth; this is the index used for release and for
+	// self-conflict checks). Its sorted block list fixes the release walk
+	// order, keeping cycle totals independent of map iteration order.
+	Tokens TokenSet
 	// ReadSet and WriteSet are the exact block sets (used for stats and
 	// for detecting signature false positives).
 	ReadSet  map[mem.BlockAddr]struct{}
@@ -105,15 +106,21 @@ type Xact struct {
 }
 
 // Reset prepares the record for a fresh attempt, preserving Timestamp and
-// Attempts.
+// Attempts. Token and read/write-set storage is reused across attempts, so
+// aborting and retrying allocates nothing after the first attempt.
 func (x *Xact) Reset() {
 	x.Active = true
 	x.AbortRequested = false
 	x.Stalling = false
 	x.FastOK = true
-	x.Tokens = make(map[mem.BlockAddr]uint32)
-	x.ReadSet = make(map[mem.BlockAddr]struct{})
-	x.WriteSet = make(map[mem.BlockAddr]struct{})
+	x.Tokens.Reset()
+	if x.ReadSet == nil {
+		x.ReadSet = make(map[mem.BlockAddr]struct{})
+		x.WriteSet = make(map[mem.BlockAddr]struct{})
+	} else {
+		clear(x.ReadSet)
+		clear(x.WriteSet)
+	}
 	x.LogStall = 0
 }
 

@@ -17,7 +17,7 @@ func TestXactReset(t *testing.T) {
 	x.AbortRequested = true
 	x.Stalling = true
 	x.FastOK = false
-	x.Tokens[5] = 3
+	x.Tokens.Add(5, 3)
 	x.ReadSet[5] = struct{}{}
 	x.WriteSet[6] = struct{}{}
 	x.LogStall = 99
@@ -26,7 +26,7 @@ func TestXactReset(t *testing.T) {
 	if x.AbortRequested || x.Stalling || !x.FastOK || !x.Active {
 		t.Fatal("flags not reset")
 	}
-	if len(x.Tokens) != 0 || len(x.ReadSet) != 0 || len(x.WriteSet) != 0 || x.LogStall != 0 {
+	if x.Tokens.Len() != 0 || len(x.ReadSet) != 0 || len(x.WriteSet) != 0 || x.LogStall != 0 {
 		t.Fatal("state not reset")
 	}
 	if x.Timestamp != 10 {

@@ -1,0 +1,74 @@
+package htm
+
+import (
+	"reflect"
+	"testing"
+
+	"tokentm/internal/mem"
+)
+
+func TestTokenSetSortedByConstruction(t *testing.T) {
+	var s TokenSet
+	// Insert out of order, with a repeat.
+	for _, b := range []mem.BlockAddr{9, 2, 7, 2, 5} {
+		s.Add(b, 1)
+	}
+	want := []mem.BlockAddr{2, 5, 7, 9}
+	if got := s.Blocks(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Blocks() = %v, want %v", got, want)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", s.Len())
+	}
+	if got := s.Get(2); got != 2 {
+		t.Fatalf("Get(2) = %d, want 2 (repeat accumulates)", got)
+	}
+	if got := s.Get(3); got != 0 {
+		t.Fatalf("Get(3) = %d, want 0", got)
+	}
+
+	var visited []mem.BlockAddr
+	s.Visit(func(b mem.BlockAddr, n uint32) {
+		visited = append(visited, b)
+		if n == 0 {
+			t.Fatalf("Visit(%v) with zero tokens", b)
+		}
+	})
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("Visit order = %v, want %v", visited, want)
+	}
+}
+
+func TestTokenSetAddZeroUntouchedIsNoOp(t *testing.T) {
+	var s TokenSet
+	s.Add(4, 0)
+	if s.Len() != 0 || s.Get(4) != 0 {
+		t.Fatal("Add(b, 0) on an untouched block must not join the release walk")
+	}
+	// But a zero add to an existing block keeps it.
+	s.Add(4, 2)
+	s.Add(4, 0)
+	if s.Len() != 1 || s.Get(4) != 2 {
+		t.Fatal("Add(b, 0) on a held block must be a pure no-op")
+	}
+}
+
+func TestTokenSetResetRetainsStorage(t *testing.T) {
+	var s TokenSet
+	for b := mem.BlockAddr(0); b < 64; b++ {
+		s.Add(b, 1)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d", s.Len())
+	}
+	if got := s.Get(10); got != 0 {
+		t.Fatalf("Get after Reset = %d", got)
+	}
+	// Refill must work and stay sorted.
+	s.Add(3, 1)
+	s.Add(1, 1)
+	if got := s.Blocks(); !reflect.DeepEqual(got, []mem.BlockAddr{1, 3}) {
+		t.Fatalf("Blocks() after refill = %v", got)
+	}
+}

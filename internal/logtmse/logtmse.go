@@ -9,6 +9,7 @@ package logtmse
 
 import (
 	"fmt"
+	"sort"
 
 	"tokentm/internal/coherence"
 	"tokentm/internal/htm"
@@ -26,8 +27,9 @@ type LogTMSE struct {
 	ms    *coherence.MemSys
 	store *mem.Store
 
-	byTID map[mem.TID]*htm.Thread
-	sigs  map[mem.TID]*threadSigs
+	byTID   map[mem.TID]*htm.Thread
+	threads []*htm.Thread // registered threads, sorted by TID
+	sigs    map[mem.TID]*threadSigs
 
 	// Metrics aggregates evaluation counters.
 	Metrics htm.Metrics
@@ -61,8 +63,18 @@ func (s *LogTMSE) Stats() *htm.Metrics { return &s.Metrics }
 
 // Register introduces a thread and builds its signatures; per-thread seeds
 // decorrelate the H3 hash functions across cores as in hardware, where each
-// core's XOR trees are wired from different random matrices.
+// core's XOR trees are wired from different random matrices. The thread list
+// stays sorted by TID so conflict checks walk foreign signatures in a fixed
+// order regardless of registration order or map layout.
 func (s *LogTMSE) Register(th *htm.Thread) {
+	i := sort.Search(len(s.threads), func(i int) bool { return s.threads[i].TID >= th.TID })
+	if i < len(s.threads) && s.threads[i].TID == th.TID {
+		s.threads[i] = th
+	} else {
+		s.threads = append(s.threads, nil)
+		copy(s.threads[i+1:], s.threads[i:])
+		s.threads[i] = th
+	}
 	s.byTID[th.TID] = th
 	s.sigs[th.TID] = &threadSigs{
 		read:  sig.New(s.kind, int64(th.TID)*7919+1),
@@ -85,14 +97,15 @@ func (s *LogTMSE) Begin(th *htm.Thread, now mem.Cycle) mem.Cycle {
 // checkConflict tests b against every other in-flight transaction's
 // signatures: write requests conflict with foreign read or write sets, read
 // requests with foreign write sets. It returns the identified enemies and
-// whether the conflict is a pure signature false positive.
+// whether the conflict is a pure signature false positive. Threads are
+// walked in TID order so the enemy list is deterministic.
 func (s *LogTMSE) checkConflict(self mem.TID, b mem.BlockAddr, isWrite bool) (enemies []*htm.Xact, falsePositive bool) {
 	real := false
-	for tid, th := range s.byTID {
-		if tid == self || !th.InXact() {
+	for _, th := range s.threads {
+		if th.TID == self || !th.InXact() {
 			continue
 		}
-		sg := s.sigs[tid]
+		sg := s.sigs[th.TID]
 		hit := sg.write.Test(b)
 		if !hit && isWrite {
 			hit = sg.read.Test(b)

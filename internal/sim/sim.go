@@ -180,6 +180,17 @@ func (m *Machine) Spawn(fn ThreadFunc) *Thread {
 // Threads returns the spawned threads.
 func (m *Machine) Threads() []*Thread { return m.threads }
 
+// CoreTimes returns each core's local clock, indexed by core id. After Run,
+// these are the per-core completion times; identical runs must produce
+// identical values (the determinism contract's finest-grained observable).
+func (m *Machine) CoreTimes() []mem.Cycle {
+	out := make([]mem.Cycle, len(m.cores))
+	for i, c := range m.cores {
+		out[i] = c.time
+	}
+	return out
+}
+
 func (th *Thread) run() {
 	<-th.grant
 	tc := &Ctx{th: th}

@@ -62,9 +62,11 @@ type Log struct {
 	bytes   int
 }
 
-// New returns an empty log whose simulated storage begins at base.
+// New returns an empty log whose simulated storage begins at base. Record
+// storage is preallocated so a typical transaction's appends never grow the
+// slice; Reset keeps whatever capacity the log has reached.
 func New(base mem.Addr) *Log {
-	return &Log{base: base}
+	return &Log{base: base, records: make([]Record, 0, 64)}
 }
 
 // Base returns the log's base address in simulated memory.
