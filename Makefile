@@ -10,14 +10,20 @@ BENCH_SCALE ?= 0.02
 BENCH_SEEDS ?= 3
 BENCH_PARALLEL ?= 0
 
-.PHONY: verify race bench microbench profile clean-cache
+.PHONY: verify lint race bench microbench profile clean-cache
 
 verify:
 	$(GO) build ./...
-	$(GO) vet ./...
-	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(MAKE) lint
 	$(GO) test ./...
 	$(GO) run ./cmd/experiments -run verify -scale 0.01 -progress=false
+
+# Static gates: go vet, gofmt, and the tokentm analyzer suite
+# (maporder, wallclock, allocfree, exhaustive — see internal/lint).
+lint:
+	$(GO) vet ./...
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/tokentm-lint ./...
 
 # Race-enabled proof that parallel sweeps share no mutable state between
 # simulated machines (harness worker pool + scheduler contract).

@@ -1,0 +1,160 @@
+package core
+
+// TestAllocFreeAnnotations keeps the //tokentm:allocfree annotations honest
+// at runtime: the table below drives every annotated function in this
+// package and asserts testing.AllocsPerRun == 0 on its steady-state path.
+// The table's key set must equal the annotation list the static analyzer
+// sees (lint.AllocFreeFuncs), so adding an annotation without a table entry
+// — or vice versa — fails the test, and an allocation the conservative AST
+// scan cannot see fails AllocsPerRun.
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"tokentm/internal/htm"
+	"tokentm/internal/lint"
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+)
+
+func TestAllocFreeAnnotations(t *testing.T) {
+	// Probe rig: three cores hold identified reader tokens on blkP and stay
+	// in-transaction, so probe/enemy enumeration sees a populated block.
+	tokP, thsP := benchRig(4)
+	blkP := benchHeap.Block()
+	for _, th := range thsP[1:] {
+		x := &htm.Xact{TID: th.TID, Core: th.Core}
+		benchBegin(tokP, th, x)
+		if _, acc := tokP.Load(th, benchHeap, 0); acc.Outcome != htm.OK {
+			t.Fatal("setup load conflicted")
+		}
+	}
+
+	// Commit rigs: one per release path, each closure runs a whole small
+	// transaction so every iteration starts from identical protocol state.
+	tokF, thsF := benchRig(1)
+	thF := thsF[0]
+	xF := &htm.Xact{TID: thF.TID, Core: 0}
+	tokS, thsS := benchRig(1, WithoutFastRelease())
+	thS := thsS[0]
+	xS := &htm.Xact{TID: thS.TID, Core: 0}
+
+	smallXact := func(tok *TokenTM, th *htm.Thread, x *htm.Xact) {
+		benchBegin(tok, th, x)
+		for j := 0; j < benchReadBlocks; j++ {
+			a := benchHeap + mem.Addr(j*mem.BlockBytes)
+			if _, acc := tok.Load(th, a, 0); acc.Outcome != htm.OK {
+				t.Fatal("load conflicted")
+			}
+		}
+		for j := 0; j < benchWriteBlocks; j++ {
+			a := benchHeap + mem.Addr(j*mem.BlockBytes)
+			if acc := tok.Store(th, a, 1, 0); acc.Outcome != htm.OK {
+				t.Fatal("store conflicted")
+			}
+		}
+	}
+
+	pr := probeResult{readers: make([]mem.TID, 0, 8)}
+	anonMeta := metastate.Anon(3)
+	enemyTIDs := []mem.TID{thsP[1].TID, thsP[2].TID, thsP[1].TID}
+
+	entries := []struct {
+		name string
+		fn   func()
+	}{
+		{"probeResult.collect", func() {
+			pr.readers = pr.readers[:0]
+			pr.writer = mem.NoTID
+			pr.anon = 0
+			pr.collect(blkP, anonMeta)
+			pr.collect(blkP, metastate.Zero)
+		}},
+		{"TokenTM.probe", func() {
+			if p := tokP.probe(blkP); p.sum != 3 {
+				t.Fatalf("want 3 reader tokens, got %d", p.sum)
+			}
+		}},
+		{"TokenTM.enemiesOf", func() {
+			if es := tokP.enemiesOf(enemyTIDs, thsP[0].TID); len(es) != 2 {
+				t.Fatalf("want 2 enemies, got %d", len(es))
+			}
+		}},
+		{"TokenTM.enemiesOf1", func() {
+			if es := tokP.enemiesOf1(thsP[1].TID, thsP[0].TID); len(es) != 1 {
+				t.Fatalf("want 1 enemy, got %d", len(es))
+			}
+		}},
+		{"TokenTM.hardCaseLookup", func() {
+			es, _ := tokP.hardCaseLookup(blkP, thsP[0].TID)
+			if len(es) != 3 {
+				t.Fatalf("want 3 enemies, got %d", len(es))
+			}
+		}},
+		{"TokenTM.Commit", func() {
+			smallXact(tokF, thF, xF)
+			if _, fast := tokF.Commit(thF); !fast {
+				t.Fatal("expected fast commit")
+			}
+			thF.Xact = nil
+		}},
+		{"TokenTM.softwareRelease", func() {
+			smallXact(tokS, thS, xS)
+			if _, fast := tokS.Commit(thS); fast {
+				t.Fatal("expected software commit")
+			}
+			thS.Xact = nil
+		}},
+		{"TokenTM.releaseBlock", func() {
+			benchBegin(tokS, thS, xS)
+			if _, acc := tokS.Load(thS, benchHeap, 0); acc.Outcome != htm.OK {
+				t.Fatal("load conflicted")
+			}
+			tokS.releaseBlock(thS, benchHeap.Block(), 1)
+			thS.Log.Reset()
+			xS.Tokens.Reset()
+			xS.Active = false
+			thS.Xact = nil
+		}},
+		{"TokenTM.Abort", func() {
+			benchBegin(tokS, thS, xS)
+			for j := 0; j < benchWriteBlocks; j++ {
+				a := benchHeap + mem.Addr(j*mem.BlockBytes)
+				if acc := tokS.Store(thS, a, 1, 0); acc.Outcome != htm.OK {
+					t.Fatal("store conflicted")
+				}
+			}
+			tokS.Abort(thS)
+			thS.Xact = nil
+		}},
+	}
+
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	want, err := lint.AllocFreeFuncs(".")
+	if err != nil {
+		t.Fatalf("scanning annotations: %v", err)
+	}
+	if !slices.Equal(names, want) {
+		t.Fatalf("annotation/table drift:\n annotated: %v\n table:     %v", want, names)
+	}
+
+	for _, e := range entries {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			// Extra warm-up beyond AllocsPerRun's own: first iterations pay
+			// one-time costs (map buckets, scratch capacity, log storage).
+			for i := 0; i < 3; i++ {
+				e.fn()
+			}
+			if n := testing.AllocsPerRun(100, e.fn); n != 0 {
+				t.Errorf("%s allocates %.0f times per run; want 0", e.name, n)
+			}
+		})
+	}
+}

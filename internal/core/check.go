@@ -2,11 +2,24 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"tokentm/internal/cache"
 	"tokentm/internal/mem"
 	"tokentm/internal/metastate"
 )
+
+// sortedBlocks returns m's keys in ascending block order, so checker walks
+// (and therefore which violation is reported first when several coexist)
+// are deterministic.
+func sortedBlocks[V any](m map[mem.BlockAddr]V) []mem.BlockAddr {
+	keys := make([]mem.BlockAddr, 0, len(m))
+	for b := range m {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // CheckBookkeeping verifies TokenTM's double-entry bookkeeping invariant
 // (§3.2): for every block, the tokens debited from the (distributed)
@@ -33,8 +46,8 @@ func (t *TokenTM) CheckBookkeeping() error {
 		return nil
 	}
 
-	for b, m := range t.home {
-		if err := addMeta(b, m); err != nil {
+	for _, b := range sortedBlocks(t.home) {
+		if err := addMeta(b, t.home[b]); err != nil {
 			return err
 		}
 	}
@@ -53,9 +66,9 @@ func (t *TokenTM) CheckBookkeeping() error {
 			return err
 		}
 	}
-	for b, w := range writers {
+	for _, b := range sortedBlocks(writers) {
 		if debits[b] != 0 {
-			return fmt.Errorf("block %v: writer X%d coexists with %d reader tokens", b, w, debits[b])
+			return fmt.Errorf("block %v: writer X%d coexists with %d reader tokens", b, writers[b], debits[b])
 		}
 		debits[b] = metastate.T
 	}
@@ -82,21 +95,21 @@ func (t *TokenTM) CheckBookkeeping() error {
 		if err != nil {
 			return err
 		}
-		for b, n := range perLog {
-			if th.Xact.Tokens.Get(b) != n {
-				return fmt.Errorf("thread X%d block %v: log credits %d missing from index", th.TID, b, n)
+		for _, b := range sortedBlocks(perLog) {
+			if th.Xact.Tokens.Get(b) != perLog[b] {
+				return fmt.Errorf("thread X%d block %v: log credits %d missing from index", th.TID, b, perLog[b])
 			}
 		}
 	}
 
-	for b, d := range debits {
-		if credits[b] != d {
-			return fmt.Errorf("block %v: metastate debits %d != log credits %d", b, d, credits[b])
+	for _, b := range sortedBlocks(debits) {
+		if credits[b] != debits[b] {
+			return fmt.Errorf("block %v: metastate debits %d != log credits %d", b, debits[b], credits[b])
 		}
 	}
-	for b, cr := range credits {
-		if debits[b] != cr {
-			return fmt.Errorf("block %v: log credits %d != metastate debits %d", b, cr, debits[b])
+	for _, b := range sortedBlocks(credits) {
+		if debits[b] != credits[b] {
+			return fmt.Errorf("block %v: log credits %d != metastate debits %d", b, credits[b], debits[b])
 		}
 	}
 	return nil

@@ -52,9 +52,17 @@ func (t *TokenTM) PageOut(p mem.PageAddr) *SavedPage {
 	return sp
 }
 
-// PageIn restores a saved page's metastate.
+// PageIn restores a saved page's metastate, walking the page's blocks in
+// ascending address order (Metas is a map; iterating it directly would make
+// the restore order — and error selection — depend on map iteration order).
 func (t *TokenTM) PageIn(sp *SavedPage) error {
-	for b, packed := range sp.Metas {
+	first := sp.Page.Block()
+	for i := 0; i < mem.BlocksPerPage; i++ {
+		b := first + mem.BlockAddr(i)
+		packed, ok := sp.Metas[b]
+		if !ok {
+			continue
+		}
 		if packed.IsOverflow() {
 			t.overflow.Set(b, sp.OverflowCounts[b])
 		}

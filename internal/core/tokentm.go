@@ -222,6 +222,8 @@ type probeResult struct {
 }
 
 // collect folds one metastate copy into the probe summary.
+//
+//tokentm:allocfree
 func (p *probeResult) collect(b mem.BlockAddr, m metastate.Meta) {
 	switch {
 	case m.IsZero():
@@ -242,6 +244,8 @@ func (p *probeResult) collect(b mem.BlockAddr, m metastate.Meta) {
 // invalidation-ack piggybacks (§5.2). It runs on every transactional miss
 // and every store, so it allocates nothing: sharers are walked as a bitmask
 // and the reader list reuses the system's scratch buffer.
+//
+//tokentm:allocfree
 func (t *TokenTM) probe(b mem.BlockAddr) probeResult {
 	p := probeResult{readers: t.readerScratch[:0]}
 	p.collect(b, t.home[b])
@@ -266,6 +270,8 @@ func (t *TokenTM) probe(b mem.BlockAddr) probeResult {
 // transactions, deduplicating without allocation (probe reader lists are a
 // handful of entries, so the quadratic scan beats a map). The returned slice
 // reuses scratch storage: it is valid only until the next enemy enumeration.
+//
+//tokentm:allocfree
 func (t *TokenTM) enemiesOf(tids []mem.TID, self mem.TID) []*htm.Xact {
 	out := t.enemyScratch[:0]
 	for i, id := range tids {
@@ -281,6 +287,8 @@ func (t *TokenTM) enemiesOf(tids []mem.TID, self mem.TID) []*htm.Xact {
 }
 
 // enemiesOf1 is enemiesOf for a single candidate TID.
+//
+//tokentm:allocfree
 func (t *TokenTM) enemiesOf1(id, self mem.TID) []*htm.Xact {
 	t.tidScratch = append(t.tidScratch[:0], id)
 	return t.enemiesOf(t.tidScratch, self)
@@ -301,6 +309,8 @@ func containsTID(tids []mem.TID, id mem.TID) bool {
 // list it builds) is identical across identical runs. The returned latency
 // is proportional to the log records scanned; the slice reuses the enemy
 // scratch buffer.
+//
+//tokentm:allocfree
 func (t *TokenTM) hardCaseLookup(b mem.BlockAddr, self mem.TID) ([]*htm.Xact, mem.Cycle) {
 	t.Metrics.HardCaseLookups++
 	enemies := t.enemyScratch[:0]
@@ -579,6 +589,8 @@ func (t *TokenTM) writeBlock(b mem.BlockAddr, words [mem.WordsPerBlock]uint64) {
 // the log pointer, in constant time. Otherwise the software handler walks
 // the log, releasing tokens block by block with real (simulated) memory
 // accesses.
+//
+//tokentm:allocfree
 func (t *TokenTM) Commit(th *htm.Thread) (mem.Cycle, bool) {
 	x := th.Xact
 	if t.fastRelease && x.FastOK {
@@ -597,6 +609,8 @@ func (t *TokenTM) Commit(th *htm.Thread) (mem.Cycle, bool) {
 
 // softwareRelease walks the log, charging the trap handler per record plus
 // the memory accesses to read the log and touch each block's metastate.
+//
+//tokentm:allocfree
 func (t *TokenTM) softwareRelease(th *htm.Thread) mem.Cycle {
 	x := th.Xact
 	core := th.Core
@@ -623,6 +637,8 @@ func (t *TokenTM) softwareRelease(th *htm.Thread) mem.Cycle {
 // looking first in the thread's own L1 line (R/W bits, post-context-switch
 // R'/W' bits, anonymous R+ counts) and then at home. Anonymous tokens are
 // fungible, so greedy decrementing preserves the bookkeeping invariant.
+//
+//tokentm:allocfree
 func (t *TokenTM) releaseBlock(th *htm.Thread, b mem.BlockAddr, total uint32) {
 	me := th.TID
 	line := t.ms.LineAt(th.Core, b)
@@ -689,6 +705,8 @@ func (t *TokenTM) releaseBlock(th *htm.Thread, b mem.BlockAddr, total uint32) {
 
 // Abort unrolls the transaction: the log is walked in reverse restoring
 // pre-transaction data, then all tokens are released.
+//
+//tokentm:allocfree
 func (t *TokenTM) Abort(th *htm.Thread) mem.Cycle {
 	x := th.Xact
 	core := th.Core

@@ -1,0 +1,81 @@
+package htm
+
+// TestAllocFreeAnnotations cross-checks this package's //tokentm:allocfree
+// annotations at runtime: the table's key set must equal the annotation
+// list the static analyzer sees (lint.AllocFreeFuncs), and each entry must
+// measure zero allocations per run on its steady-state path.
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"tokentm/internal/lint"
+	"tokentm/internal/mem"
+)
+
+func TestAllocFreeAnnotations(t *testing.T) {
+	const blocks = 64
+	var s TokenSet
+	// One-time growth: first touches allocate the count map and the sorted
+	// block list; every later attempt reuses that storage.
+	for i := 0; i < blocks; i++ {
+		s.Add(mem.BlockAddr(i), 1)
+	}
+	s.Reset()
+
+	entries := []struct {
+		name string
+		fn   func()
+	}{
+		{"TokenSet.Add", func() {
+			s.Reset()
+			// 37 is coprime to 64, so the walk hits every residue out of
+			// order, exercising the sorted-insert shift path.
+			for i := 0; i < blocks; i++ {
+				s.Add(mem.BlockAddr(i*37%blocks), 2)
+			}
+			if s.Len() != blocks {
+				t.Fatalf("want %d blocks, got %d", blocks, s.Len())
+			}
+		}},
+		{"TokenSet.Get", func() {
+			if s.Get(mem.BlockAddr(7)) == 0 {
+				t.Fatal("block 7 should hold tokens")
+			}
+		}},
+		{"TokenSet.Reset", func() {
+			s.Reset()
+			// Refill so the Get entry keeps seeing tokens regardless of
+			// table order.
+			for i := 0; i < blocks; i++ {
+				s.Add(mem.BlockAddr(i), 1)
+			}
+		}},
+	}
+
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	want, err := lint.AllocFreeFuncs(".")
+	if err != nil {
+		t.Fatalf("scanning annotations: %v", err)
+	}
+	if !slices.Equal(names, want) {
+		t.Fatalf("annotation/table drift:\n annotated: %v\n table:     %v", want, names)
+	}
+
+	for _, e := range entries {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				e.fn()
+			}
+			if n := testing.AllocsPerRun(100, e.fn); n != 0 {
+				t.Errorf("%s allocates %.0f times per run; want 0", e.name, n)
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package htm
 
 import (
-	"sort"
-
 	"tokentm/internal/mem"
 )
 
@@ -21,6 +19,8 @@ type TokenSet struct {
 }
 
 // Get returns the tokens held on block b (0 when untouched).
+//
+//tokentm:allocfree
 func (s *TokenSet) Get(b mem.BlockAddr) uint32 { return s.counts[b] }
 
 // Len returns the number of blocks with tokens.
@@ -28,19 +28,31 @@ func (s *TokenSet) Len() int { return len(s.blocks) }
 
 // Add credits n more tokens on block b, inserting b into the sorted block
 // list on first touch. Adding 0 to an untouched block is a no-op (the block
-// does not join the release walk).
+// does not join the release walk). The insertion search is hand-rolled: a
+// sort.Search closure is an allocating construct on this per-token path.
+//
+//tokentm:allocfree
 func (s *TokenSet) Add(b mem.BlockAddr, n uint32) {
 	if _, ok := s.counts[b]; !ok {
 		if n == 0 {
 			return
 		}
 		if s.counts == nil {
+			//lint:ignore allocfree first touch lazily creates the count map; Reset retains it for every later attempt
 			s.counts = make(map[mem.BlockAddr]uint32)
 		}
-		i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i] >= b })
+		lo, hi := 0, len(s.blocks)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.blocks[mid] < b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
 		s.blocks = append(s.blocks, 0)
-		copy(s.blocks[i+1:], s.blocks[i:])
-		s.blocks[i] = b
+		copy(s.blocks[lo+1:], s.blocks[lo:])
+		s.blocks[lo] = b
 	}
 	s.counts[b] += n
 }
@@ -58,6 +70,8 @@ func (s *TokenSet) Visit(fn func(b mem.BlockAddr, tokens uint32)) {
 }
 
 // Reset empties the set, retaining storage for the next attempt.
+//
+//tokentm:allocfree
 func (s *TokenSet) Reset() {
 	clear(s.counts)
 	s.blocks = s.blocks[:0]

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"tokentm/internal/lint/analysis"
+)
+
+// AllocFree checks functions annotated //tokentm:allocfree — the protocol
+// hot paths (probe, token-set updates, commit walk, abort unroll, enemy
+// enumeration) that PR 2 made allocation-free. The check is a conservative,
+// non-transitive AST scan of each annotated body: it flags constructs that
+// allocate (or typically allocate) on the steady-state path:
+//
+//   - make and new
+//   - composite literals that escape the statement: &T{...}, and any
+//     slice or map literal
+//   - append whose destination is not rooted in a parameter, receiver, or
+//     named result (scratch-buffer appends reuse caller storage; appends to
+//     fresh locals grow fresh backing arrays)
+//   - closures (func literals)
+//   - fmt.* calls and non-constant string concatenation
+//   - explicit conversions to interface types (boxing)
+//
+// Everything inside a panic(...) argument is exempt: invariant-violation
+// messages run once, on a terminal path. The annotation list is
+// cross-checked dynamically by TestAllocFreeAnnotations table tests
+// asserting testing.AllocsPerRun == 0, so the static and runtime views
+// cannot drift: an annotation without a table entry (or vice versa) fails
+// the test, and an allocation the AST scan cannot see fails AllocsPerRun.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocating constructs in //tokentm:allocfree functions",
+	Run:  runAllocFree,
+}
+
+// AllocFreeDirective is the annotation marking a function's body
+// allocation-free.
+const AllocFreeDirective = "//tokentm:allocfree"
+
+func runAllocFree(pass *analysis.Pass) error {
+	for _, fd := range enclosingFuncs(pass.Files) {
+		if !isAllocFreeAnnotated(fd) {
+			continue
+		}
+		checkAllocFreeFunc(pass, fd)
+	}
+	return nil
+}
+
+func isAllocFreeAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == AllocFreeDirective ||
+			len(c.Text) > len(AllocFreeDirective) && c.Text[:len(AllocFreeDirective)+1] == AllocFreeDirective+" " {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAllocFreeFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &allocChecker{pass: pass, fd: fd}
+	c.collectAllowedRoots()
+	c.collectVarInits()
+	c.collectPanicRanges()
+	c.collectAddressedLits()
+	ast.Inspect(fd.Body, c.visit)
+}
+
+type allocChecker struct {
+	pass *allocPass
+	fd   *ast.FuncDecl
+	// allowed are objects whose storage belongs to the caller: parameters,
+	// receivers, named results.
+	allowed map[types.Object]bool
+	// varInits maps a local variable to its initializer, for tracing
+	// scratch-buffer aliases like `out := t.scratch[:0]`.
+	varInits map[types.Object]ast.Expr
+	// panicRanges are the source extents of panic(...) calls; nodes inside
+	// are exempt.
+	panicRanges [][2]token.Pos
+	// addressed marks composite literals under a unary &.
+	addressed map[*ast.CompositeLit]bool
+}
+
+// allocPass is the subset of analysis.Pass the checker uses (an alias keeps
+// the field list above readable).
+type allocPass = analysis.Pass
+
+func (c *allocChecker) collectAllowedRoots() {
+	c.allowed = make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					c.allowed[obj] = true
+				}
+			}
+		}
+	}
+	addFields(c.fd.Recv)
+	addFields(c.fd.Type.Params)
+	addFields(c.fd.Type.Results)
+}
+
+func (c *allocChecker) collectVarInits() {
+	c.varInits = make(map[types.Object]ast.Expr)
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var obj types.Object
+				if s.Tok == token.DEFINE {
+					obj = c.pass.TypesInfo.Defs[id]
+				} else {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				// First initializer (source order) wins: later
+				// self-referential reassignments like `out = append(out, e)`
+				// must not shadow the declaration that roots the buffer.
+				if obj != nil {
+					if _, seen := c.varInits[obj]; !seen {
+						c.varInits[obj] = s.Rhs[i]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) != len(s.Values) {
+				return true
+			}
+			for i, name := range s.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					if _, seen := c.varInits[obj]; !seen {
+						c.varInits[obj] = s.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) collectPanicRanges() {
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+				c.panicRanges = append(c.panicRanges, [2]token.Pos{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) collectAddressedLits() {
+	c.addressed = make(map[*ast.CompositeLit]bool)
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if lit, ok := u.X.(*ast.CompositeLit); ok {
+				c.addressed[lit] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) inPanic(pos token.Pos) bool {
+	for _, r := range c.panicRanges {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *allocChecker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.FuncLit:
+		c.pass.Reportf(x.Pos(), "closure in allocfree function %s: func literals allocate; hoist the logic or a named function", c.fd.Name.Name)
+		return false
+	case *ast.CompositeLit:
+		if c.inPanic(x.Pos()) {
+			return true
+		}
+		tv, ok := c.pass.TypesInfo.Types[x]
+		if !ok {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			c.pass.Reportf(x.Pos(), "%s literal in allocfree function %s allocates backing storage", describeType(tv.Type), c.fd.Name.Name)
+		default:
+			if c.addressed[x] {
+				c.pass.Reportf(x.Pos(), "&%s{...} in allocfree function %s heap-allocates; reuse a scratch value", describeType(tv.Type), c.fd.Name.Name)
+			}
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD || c.inPanic(x.Pos()) {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[x]; ok && tv.Value == nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				c.pass.Reportf(x.Pos(), "string concatenation in allocfree function %s allocates", c.fd.Name.Name)
+			}
+		}
+	case *ast.CallExpr:
+		c.visitCall(x)
+	}
+	return true
+}
+
+func (c *allocChecker) visitCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := c.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "make", "new":
+				if !c.inPanic(call.Pos()) {
+					c.pass.Reportf(call.Pos(), "%s in allocfree function %s allocates; preallocate and reuse storage", fun.Name, c.fd.Name.Name)
+				}
+			case "append":
+				if len(call.Args) > 0 && !c.rootAllowed(call.Args[0], 8) && !c.inPanic(call.Pos()) {
+					c.pass.Reportf(call.Pos(), "append to %s in allocfree function %s: destination is not rooted in a parameter, receiver or named result, so it grows fresh backing storage", types.ExprString(call.Args[0]), c.fd.Name.Name)
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pkgName, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+				pkgName.Imported().Path() == "fmt" && !c.inPanic(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "fmt.%s in allocfree function %s allocates (boxing + formatting); restrict fmt to panic messages", fun.Sel.Name, c.fd.Name.Name)
+				return
+			}
+		}
+	}
+	// Explicit conversion to an interface type boxes its operand.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && !c.inPanic(call.Pos()) {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
+				c.pass.Reportf(call.Pos(), "conversion to interface %s in allocfree function %s boxes its operand", describeType(tv.Type), c.fd.Name.Name)
+			}
+		}
+	}
+}
+
+// rootAllowed traces expr through index/slice/selector wrappers and local
+// aliases to its root identifier and reports whether that root's storage
+// belongs to the caller (parameter, receiver, named result).
+func (c *allocChecker) rootAllowed(expr ast.Expr, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		var obj types.Object
+		if obj = c.pass.TypesInfo.Uses[e]; obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		if c.allowed[obj] {
+			return true
+		}
+		if init, ok := c.varInits[obj]; ok {
+			return c.rootAllowed(init, depth-1)
+		}
+		return false
+	case *ast.SelectorExpr:
+		return c.rootAllowed(e.X, depth-1)
+	case *ast.IndexExpr:
+		return c.rootAllowed(e.X, depth-1)
+	case *ast.SliceExpr:
+		return c.rootAllowed(e.X, depth-1)
+	case *ast.ParenExpr:
+		return c.rootAllowed(e.X, depth-1)
+	case *ast.CallExpr:
+		// append(x, ...) chains: the result occupies x's storage when it
+		// fits, so the root of the first argument decides.
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return c.rootAllowed(e.Args[0], depth-1)
+		}
+		return false
+	}
+	return false
+}
+
+func describeType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// AllocFreeFuncs scans the non-test Go files of dir (no type-checking) and
+// returns the names of functions annotated //tokentm:allocfree, as
+// "Receiver.Name" for methods and "Name" otherwise, sorted. The
+// TestAllocFreeAnnotations table tests use it to keep the static annotation
+// list and the dynamic testing.AllocsPerRun table in lock-step.
+func AllocFreeFuncs(dir string) ([]string, error) {
+	names, err := GoFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isAllocFreeAnnotated(fd) {
+				continue
+			}
+			out = append(out, funcDisplayName(fd))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

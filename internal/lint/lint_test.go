@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tokentm/internal/lint"
+	"tokentm/internal/lint/linttest"
+)
+
+// The fixtures live under testdata/src/tokentm/internal/... so that the
+// scope rules (simPackages, orderedOutputPackages) see the same
+// "internal/..." package-key suffixes the real tree produces.
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/sim/maporder", lint.MapOrder)
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/sim/wallclock", lint.WallClock)
+}
+
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/sim/allocfree", lint.AllocFree)
+}
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/sim/exhaustive", lint.Exhaustive)
+}
+
+// TestDirectives covers //lint:ignore hygiene: suppression in both
+// placements, missing-reason and unknown-analyzer diagnostics, and stale
+// directive detection.
+func TestDirectives(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/sim/directives", lint.WallClock)
+}
+
+// TestHostSideOutOfScope runs the full suite over a harness-side fixture
+// that reads the wall clock, uses global rand and ranges over maps — and
+// expects zero diagnostics, because scope gating exempts host-side code.
+func TestHostSideOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/internal/harness/hostside", lint.Analyzers()...)
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "strings"
+
+// The determinism and hot-path contracts (DESIGN.md §"Determinism contract")
+// bind the packages that execute *simulated* work: everything a simulated
+// cycle count, cache state, or commit stream can observe. Host-side packages
+// (the harness, the experiment drivers, plotting) measure wall-clock time
+// and aggregate freely; they are exempt from wallclock and allocfree, and
+// maporder applies to them only where their output must be byte-stable.
+
+// simPackages are the simulation packages: no wall-clock, no global rand,
+// no map-order-dependent control flow, exhaustive enum switches.
+var simPackages = []string{
+	"internal/cache",
+	"internal/coherence",
+	"internal/core",
+	"internal/eccmeta",
+	"internal/htm",
+	"internal/interconnect",
+	"internal/lcs",
+	"internal/logtmse",
+	"internal/mem",
+	"internal/metastate",
+	"internal/sim",
+	"internal/tmlog",
+}
+
+// orderedOutputPackages additionally owe deterministic, byte-stable output
+// (trace dumps, plot text): maporder covers them on top of simPackages.
+var orderedOutputPackages = []string{
+	"internal/plot",
+	"internal/trace",
+}
+
+// pkgKey reduces an import path to its module-relative form: the suffix
+// starting at "internal/". Paths without an internal/ element (the root
+// package, cmd/...) are out of every scope.
+func pkgKey(path string) string {
+	if path == "" {
+		return ""
+	}
+	if strings.HasPrefix(path, "internal/") {
+		return path
+	}
+	if i := strings.Index(path, "/internal/"); i >= 0 {
+		return path[i+1:]
+	}
+	return ""
+}
+
+// inList reports whether the package path is one of the listed packages or a
+// subpackage of one.
+func inList(path string, list []string) bool {
+	key := pkgKey(path)
+	if key == "" {
+		return false
+	}
+	for _, p := range list {
+		if key == p || strings.HasPrefix(key, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isSimPackage reports whether path is bound by the full simulation
+// contract.
+func isSimPackage(path string) bool { return inList(path, simPackages) }
+
+// isOrderedOutputPackage reports whether path owes deterministic iteration
+// order for its output without being a simulation package.
+func isOrderedOutputPackage(path string) bool { return inList(path, orderedOutputPackages) }

@@ -1,0 +1,27 @@
+// Package hostside is a lint fixture proving scope: harness-side packages
+// may read the wall clock, draw from the global rand source and range over
+// maps — none of it feeds simulated state, so no analyzer flags it.
+package hostside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFine() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}
+
+func mapOrderIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unannotated host-side code allocates freely; allocfree only ever checks
+// //tokentm:allocfree functions, which host-side code does not declare.
+func allocationIsFine() []byte {
+	return make([]byte, 1<<10)
+}

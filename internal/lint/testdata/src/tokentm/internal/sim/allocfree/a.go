@@ -1,0 +1,101 @@
+// Package allocfree is a lint fixture for the allocfree analyzer: each
+// annotated function demonstrates one allocating construct or one sanctioned
+// allocation-free pattern.
+package allocfree
+
+import "fmt"
+
+type ring struct {
+	buf     []int
+	scratch []int
+}
+
+type boxer interface{ m() }
+
+type impl struct{}
+
+func (impl) m() {}
+
+// push appends through the receiver: the buffer belongs to the caller.
+//
+//tokentm:allocfree
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// grow appends to a parameter: caller storage, allowed.
+//
+//tokentm:allocfree
+func grow(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+//tokentm:allocfree
+func growFresh(v int) []int {
+	var out []int
+	return append(out, v) // want `allocfree: append to out in allocfree function growFresh`
+}
+
+//tokentm:allocfree
+func makes(n int) []int {
+	return make([]int, n) // want `allocfree: make in allocfree function makes allocates`
+}
+
+//tokentm:allocfree
+func sliceLit(v int) []int {
+	return []int{v} // want `allocfree: \[\]int literal in allocfree function sliceLit allocates`
+}
+
+//tokentm:allocfree
+func newRing() *ring {
+	return &ring{} // want `allocfree: &allocfree\.ring\{\.\.\.\} in allocfree function newRing heap-allocates`
+}
+
+//tokentm:allocfree
+func closes(xs []int) func() int {
+	return func() int { return len(xs) } // want `allocfree: closure in allocfree function closes`
+}
+
+//tokentm:allocfree
+func logs(v int) {
+	fmt.Println(v) // want `allocfree: fmt\.Println in allocfree function logs allocates`
+}
+
+//tokentm:allocfree
+func concat(a, b string) string {
+	return a + b // want `allocfree: string concatenation in allocfree function concat allocates`
+}
+
+//tokentm:allocfree
+func box(v impl) boxer {
+	return boxer(v) // want `allocfree: conversion to interface allocfree\.boxer in allocfree function box boxes its operand`
+}
+
+// invariant may format inside panic: the message runs once, on a terminal
+// invariant-violation path, never on the steady-state path.
+//
+//tokentm:allocfree
+func invariant(v int) int {
+	if v < 0 {
+		panic("invariant: " + fmt.Sprintf("negative value %d", v))
+	}
+	return v
+}
+
+// collect reuses the receiver's scratch buffer through a local alias —
+// the canonical hot-path pattern (cf. readerScratch/enemyScratch).
+//
+//tokentm:allocfree
+func (r *ring) collect(n int) []int {
+	out := r.scratch[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	r.scratch = out
+	return out
+}
+
+// unannotated functions may allocate freely.
+func unannotated() []int {
+	return make([]int, 8)
+}

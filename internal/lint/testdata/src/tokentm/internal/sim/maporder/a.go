@@ -1,0 +1,80 @@
+// Package maporder is a lint fixture: every construct the maporder analyzer
+// must flag, and every exemption it must honor.
+package maporder
+
+import "sort"
+
+func access(int) {}
+
+func flagged(m map[int]int) {
+	for k := range m { // want `maporder: for-range over map m`
+		access(k)
+	}
+}
+
+func flaggedValue(m map[int]int) {
+	for _, v := range m { // want `maporder: for-range over map m`
+		access(v)
+	}
+}
+
+// sumOnly is exempt: += accumulation is order-insensitive.
+func sumOnly(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// countAndMask is exempt: counter increments and commutative compound
+// assignments only.
+func countAndMask(m map[int]uint32) (n int, bits uint32) {
+	for _, v := range m {
+		n++
+		bits |= v
+	}
+	return n, bits
+}
+
+// drain is exempt: deleting the ranged map's own key is order-insensitive.
+func drain(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// keysSorted is exempt: the collect-then-sort idiom, the canonical fix.
+func keysSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectedButUnsorted collects keys but never sorts them, so the output
+// order still leaks map iteration order.
+func collectedButUnsorted(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `maporder: for-range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// justified carries an ignore directive with a reason; the finding is
+// suppressed and the directive is consumed (not stale).
+func justified(m map[int]int) {
+	for k := range m { //lint:ignore maporder fixture exercises a justified order-dependent walk
+		access(k)
+	}
+}
+
+// sliceRange is exempt: slices iterate in index order.
+func sliceRange(s []int) {
+	for _, v := range s {
+		access(v)
+	}
+}

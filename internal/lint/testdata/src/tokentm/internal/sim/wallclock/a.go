@@ -1,0 +1,39 @@
+// Package wallclock is a lint fixture for the wallclock analyzer: host
+// clock reads and global math/rand draws are flagged; seeded generators,
+// time types and constants are not.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano() // want `wallclock: time.Now in a simulation package`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wallclock: time.Sleep in a simulation package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wallclock: time.Since in a simulation package`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `wallclock: global rand.Intn in a simulation package`
+}
+
+// seeded is the sanctioned pattern: a generator owned by the caller, seeded
+// from the experiment tuple.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// typesAndConstants: time.Duration arithmetic and rand value types never
+// touch the host clock or the global source.
+func typesAndConstants(d time.Duration, rng *rand.Rand) time.Duration {
+	_ = rng
+	return d * 2
+}

@@ -21,12 +21,17 @@ import (
 // the true count then lives in a software OverflowTable.
 type Packed uint16
 
+// PackedState is the 2-bit state field of the packed representation — a
+// named enum type so switches over it fall under the exhaustive analyzer:
+// every summary state must have a defined transition (Tables 3a/3b, 4a).
+type PackedState uint16
+
 // Packed state field values.
 const (
-	stateAnon     = 0 // (u,-)
-	stateRead1    = 1 // (1,X)
-	stateWriteT   = 2 // (T,X)
-	stateOverflow = 3 // software-maintained count
+	StateAnon     PackedState = 0 // (u,-)
+	StateRead1    PackedState = 1 // (1,X)
+	StateWriteT   PackedState = 2 // (T,X)
+	StateOverflow PackedState = 3 // software-maintained count
 )
 
 // attrMask selects the 14-bit attribute field.
@@ -38,18 +43,18 @@ const maxPackedCount = attrMask
 // PackedZero is the packed form of (0,-).
 const PackedZero Packed = 0
 
-func packedOf(state uint16, attr uint16) Packed {
-	return Packed(state<<14 | attr&attrMask)
+func packedOf(state PackedState, attr uint16) Packed {
+	return Packed(uint16(state)<<14 | attr&attrMask)
 }
 
 // State returns the 2-bit state field.
-func (p Packed) State() uint16 { return uint16(p) >> 14 }
+func (p Packed) State() PackedState { return PackedState(p >> 14) }
 
 // Attr returns the 14-bit attribute field.
 func (p Packed) Attr() uint16 { return uint16(p) & attrMask }
 
 // IsOverflow reports whether the count lives in a software table.
-func (p Packed) IsOverflow() bool { return p.State() == stateOverflow }
+func (p Packed) IsOverflow() bool { return p.State() == StateOverflow }
 
 // Pack encodes m into 16 metabits. If the anonymous count exceeds the 14-bit
 // field, Pack returns the overflow encoding and overflow=true; the caller
@@ -59,13 +64,13 @@ func Pack(m Meta) (p Packed, overflow bool) {
 	case m.Sum == 0:
 		return PackedZero, false
 	case m.IsWriter():
-		return packedOf(stateWriteT, uint16(m.TID)), false
+		return packedOf(StateWriteT, uint16(m.TID)), false
 	case m.Sum == 1 && m.TID != mem.NoTID:
-		return packedOf(stateRead1, uint16(m.TID)), false
+		return packedOf(StateRead1, uint16(m.TID)), false
 	case m.Sum <= maxPackedCount:
-		return packedOf(stateAnon, uint16(m.Sum)), false
+		return packedOf(StateAnon, uint16(m.Sum)), false
 	default:
-		return packedOf(stateOverflow, 0), true
+		return packedOf(StateOverflow, 0), true
 	}
 }
 
@@ -74,13 +79,13 @@ func Pack(m Meta) (p Packed, overflow bool) {
 // (may be nil only if p is not overflow).
 func Unpack(p Packed, table *OverflowTable, b mem.BlockAddr) (Meta, error) {
 	switch p.State() {
-	case stateAnon:
+	case StateAnon:
 		return Anon(uint32(p.Attr())), nil
-	case stateRead1:
+	case StateRead1:
 		return Read1(mem.TID(p.Attr())), nil
-	case stateWriteT:
+	case StateWriteT:
 		return WriteT(mem.TID(p.Attr())), nil
-	default: // stateOverflow
+	default: // StateOverflow
 		if table == nil {
 			return Zero, fmt.Errorf("metastate: overflow encoding for %v with no software table", b)
 		}

@@ -11,13 +11,13 @@ import (
 func TestPackTable4a(t *testing.T) {
 	cases := []struct {
 		m     Meta
-		state uint16
+		state PackedState
 		attr  uint16
 	}{
-		{Anon(5), stateAnon, 5},
-		{Zero, stateAnon, 0},
-		{Read1(tidX), stateRead1, uint16(tidX)},
-		{WriteT(tidY), stateWriteT, uint16(tidY)},
+		{Anon(5), StateAnon, 5},
+		{Zero, StateAnon, 0},
+		{Read1(tidX), StateRead1, uint16(tidX)},
+		{WriteT(tidY), StateWriteT, uint16(tidY)},
 	}
 	for _, c := range cases {
 		p, over := Pack(c.m)
@@ -81,10 +81,10 @@ func TestOverflowLimitless(t *testing.T) {
 	}
 
 	// Unpacking an overflow encoding without a table entry is an error.
-	if _, err := Unpack(packedOf(stateOverflow, 0), tab, b); err == nil {
+	if _, err := Unpack(packedOf(StateOverflow, 0), tab, b); err == nil {
 		t.Error("expected error for missing overflow entry")
 	}
-	if _, err := Unpack(packedOf(stateOverflow, 0), nil, b); err == nil {
+	if _, err := Unpack(packedOf(StateOverflow, 0), nil, b); err == nil {
 		t.Error("expected error for nil overflow table")
 	}
 }
