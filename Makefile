@@ -10,7 +10,7 @@ BENCH_SCALE ?= 0.02
 BENCH_SEEDS ?= 3
 BENCH_PARALLEL ?= 0
 
-.PHONY: verify lint race bench microbench profile clean-cache
+.PHONY: verify lint race bench breakdown microbench profile clean-cache
 
 verify:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ bench:
 	$(GO) run ./cmd/experiments -run verify,fig1,fig5 \
 		-scale $(BENCH_SCALE) -seeds $(BENCH_SEEDS) -parallel $(BENCH_PARALLEL) \
 		-json BENCH_experiments.json -json-timing
+
+# Cycle-attribution breakdown sweep (Figures 7-9). Unlike bench, this omits
+# -json-timing, so BENCH_breakdown.json is fully deterministic and CI can
+# `git diff --exit-code` it after regeneration.
+breakdown:
+	$(GO) run ./cmd/experiments -run breakdown \
+		-scale $(BENCH_SCALE) -seeds $(BENCH_SEEDS) -parallel $(BENCH_PARALLEL) \
+		-progress=false -json BENCH_breakdown.json
 
 # Protocol-path microbenchmarks (probe, commit, abort) plus the end-to-end
 # small sweep, with allocation counts. Output is benchstat-comparable: save

@@ -1,0 +1,192 @@
+package tokentm
+
+// Execution-time breakdowns (the paper's Figures 7–9): where do the cycles
+// of each variant × workload cell go? Rows are normalized to the workload's
+// LogTM-SE_Perf total, so a faster variant's stack is visibly shorter than
+// the baseline's 100 — the same presentation the paper uses to explain *why*
+// TokenTM wins, not just that it does.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tokentm/internal/attr"
+	"tokentm/internal/harness"
+	"tokentm/internal/plot"
+	"tokentm/internal/stats"
+	"tokentm/internal/workload"
+)
+
+// BreakdownRow is one (workload, variant) cell of the execution-time
+// breakdown: mean cycles per bucket (machine-wide, summed over cores)
+// across the perturbation seeds.
+type BreakdownRow struct {
+	Workload string
+	Variant  Variant
+	// Cycles is indexed in attr bucket order (attr.Buckets()).
+	Cycles []float64
+}
+
+// Total sums the row's buckets.
+func (r BreakdownRow) Total() float64 {
+	var t float64
+	for _, v := range r.Cycles {
+		t += v
+	}
+	return t
+}
+
+// RunWorkloadBreakdown is RunWorkload plus the cycle-conservation audit:
+// it fails if any core's attribution buckets do not sum exactly to its
+// clock.
+func RunWorkloadBreakdown(spec workload.Spec, v Variant, scale float64, seed int64) (RunDetail, error) {
+	d, sys := runWorkload(spec, v, scale, seed)
+	if err := sys.M.CheckConservation(); err != nil {
+		return d, fmt.Errorf("%s/%s: %w", spec.Name, v, err)
+	}
+	return d, nil
+}
+
+// WorkloadBreakdown runs one workload on every variant at a single seed,
+// enforcing conservation, and returns one row per variant (cmd/tokentm-sim's
+// -breakdown report).
+func WorkloadBreakdown(spec workload.Spec, scale float64, seed int64) ([]BreakdownRow, error) {
+	rows := make([]BreakdownRow, 0, len(Variants()))
+	for _, v := range Variants() {
+		d, err := RunWorkloadBreakdown(spec, v, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := BreakdownRow{Workload: spec.Name, Variant: v, Cycles: make([]float64, attr.NumBuckets)}
+		for bi, b := range attr.Buckets() {
+			row.Cycles[bi] = float64(d.Breakdown.Get(b))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BreakdownGrid sweeps every workload × variant over the perturbation seeds
+// through the harness and aggregates the per-job breakdowns into mean
+// cycles per bucket. Results are walked in job order (seed innermost), so
+// the rows are identical at any parallelism.
+func BreakdownGrid(r *harness.Runner, scale float64, seeds []int64) ([]BreakdownRow, error) {
+	specs := workload.Specs()
+	variants := Variants()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	vnames := make([]string, len(variants))
+	for i, v := range variants {
+		vnames[i] = string(v)
+	}
+	results := r.Sweep(harness.Grid(names, vnames, scale, seeds))
+
+	rows := make([]BreakdownRow, 0, len(specs)*len(variants))
+	i := 0
+	for _, spec := range specs {
+		for _, v := range variants {
+			samples := make([]stats.Sample, attr.NumBuckets)
+			for range seeds {
+				res := results[i]
+				i++
+				if !res.OK() {
+					return nil, fmt.Errorf("job %s failed: %s", res.Job, res.Err)
+				}
+				for bi, b := range attr.Buckets() {
+					samples[bi].Add(float64(res.Outcome.Breakdown[b.String()]))
+				}
+			}
+			row := BreakdownRow{Workload: spec.Name, Variant: v, Cycles: make([]float64, attr.NumBuckets)}
+			for bi := range samples {
+				row.Cycles[bi] = samples[bi].Mean()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// baselineTotal returns the workload's LogTM-SE_Perf total — the 100 mark
+// every stack in that workload's group is normalized to.
+func baselineTotal(rows []BreakdownRow, wl string) float64 {
+	for _, r := range rows {
+		if r.Workload == wl && r.Variant == VariantLogTMSEPerf {
+			return r.Total()
+		}
+	}
+	return 0
+}
+
+// WriteBreakdownTable renders the Figure 7-style table: one row per
+// workload × variant, one column per bucket, as percent of the workload's
+// LogTM-SE_Perf total.
+func WriteBreakdownTable(w io.Writer, rows []BreakdownRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark\tVariant")
+	for _, name := range attr.BucketNames() {
+		fmt.Fprintf(tw, "\t%s", name)
+	}
+	fmt.Fprintln(tw, "\ttotal")
+	for _, r := range rows {
+		base := baselineTotal(rows, r.Workload)
+		if base <= 0 {
+			base = r.Total()
+		}
+		fmt.Fprintf(tw, "%s\t%s", r.Workload, r.Variant)
+		for _, v := range r.Cycles {
+			fmt.Fprintf(tw, "\t%.1f", 100*v/base)
+		}
+		fmt.Fprintf(tw, "\t%.1f\n", 100*r.Total()/base)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(percent of the workload's LogTM-SE_Perf cycles; rows sum to their total)")
+}
+
+// WriteBreakdownCharts renders one stacked bar chart per workload, each
+// normalized to that workload's LogTM-SE_Perf total (= 100).
+func WriteBreakdownCharts(w io.Writer, title string, rows []BreakdownRow) {
+	var workloads []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Workload] {
+			seen[r.Workload] = true
+			workloads = append(workloads, r.Workload)
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+		for range title {
+			fmt.Fprint(w, "=")
+		}
+		fmt.Fprintln(w)
+	}
+	for _, wl := range workloads {
+		base := baselineTotal(rows, wl)
+		c := plot.Stacked{
+			Title:  wl,
+			XLabel: "% of LogTM-SE_Perf cycles",
+			Series: attr.BucketNames(),
+			Width:  60,
+		}
+		for _, r := range rows {
+			if r.Workload != wl {
+				continue
+			}
+			b := base
+			if b <= 0 {
+				b = r.Total()
+			}
+			vals := make([]float64, len(r.Cycles))
+			for i, v := range r.Cycles {
+				vals[i] = 100 * v / b
+			}
+			c.Groups = append(c.Groups, string(r.Variant))
+			c.Values = append(c.Values, vals)
+		}
+		c.Render(w)
+		fmt.Fprintln(w)
+	}
+}

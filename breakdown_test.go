@@ -1,0 +1,109 @@
+package tokentm
+
+import (
+	"strings"
+	"testing"
+
+	"tokentm/internal/attr"
+	"tokentm/internal/harness"
+	"tokentm/internal/workload"
+)
+
+// TestCycleConservationAcrossGrid is the end-to-end conservation property:
+// every workload × variant cell, run through the same entry point the
+// harness uses, must attribute every simulated cycle (ExperimentRun folds
+// sim.CheckConservation into its error) and report a breakdown whose
+// buckets sum to the core clocks, with every bucket name present.
+func TestCycleConservationAcrossGrid(t *testing.T) {
+	for _, wl := range workload.Names() {
+		for _, v := range Variants() {
+			t.Run(wl+"/"+string(v), func(t *testing.T) {
+				out, err := ExperimentRun(harness.Job{Workload: wl, Variant: string(v), Scale: 0.005, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(out.Breakdown) != int(attr.NumBuckets) {
+					t.Fatalf("breakdown has %d buckets, want %d: %v", len(out.Breakdown), attr.NumBuckets, out.Breakdown)
+				}
+				var sum uint64
+				for _, name := range attr.BucketNames() {
+					if _, ok := out.Breakdown[name]; !ok {
+						t.Fatalf("bucket %q missing from breakdown", name)
+					}
+					sum += out.Breakdown[name]
+				}
+				if sum != out.CoreCycleSum {
+					t.Fatalf("buckets sum to %d cycles, core clocks to %d", sum, out.CoreCycleSum)
+				}
+				if out.CoreCycleSum == 0 {
+					t.Fatal("core clocks never advanced")
+				}
+				if out.Breakdown["useful"] == 0 {
+					t.Fatal("no cycles classified useful")
+				}
+			})
+		}
+	}
+}
+
+// TestRunWorkloadBreakdownMatchesAborts cross-checks the lifecycle stream
+// against the counters: one abort record per abort, and Wasted cycles
+// present exactly when attempts aborted.
+func TestRunWorkloadBreakdownMatchesAborts(t *testing.T) {
+	spec, ok := workload.ByName("Delaunay")
+	if !ok {
+		t.Fatal("Delaunay workload missing")
+	}
+	d, err := RunWorkloadBreakdown(spec, VariantLogTMSE2xH3, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.AbortRecs) != int(d.Metrics.Aborts) {
+		t.Fatalf("%d abort records for %d aborts", len(d.AbortRecs), d.Metrics.Aborts)
+	}
+	wasted := d.Breakdown.Get(attr.Wasted)
+	if d.Metrics.Aborts > 0 && wasted == 0 {
+		t.Fatalf("%d aborts but no wasted cycles", d.Metrics.Aborts)
+	}
+	if d.Metrics.Aborts == 0 && wasted != 0 {
+		t.Fatalf("no aborts but %d wasted cycles", wasted)
+	}
+}
+
+// TestWorkloadBreakdownReport smoke-tests the Figure 7-style renderers on
+// real rows: one row per variant, table normalized so the LogTM-SE_Perf
+// row totals 100, chart legend naming every bucket.
+func TestWorkloadBreakdownReport(t *testing.T) {
+	spec, ok := workload.ByName("Genome")
+	if !ok {
+		t.Fatal("Genome workload missing")
+	}
+	rows, err := WorkloadBreakdown(spec, 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Variants()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(Variants()))
+	}
+
+	var table strings.Builder
+	WriteBreakdownTable(&table, rows)
+	out := table.String()
+	for _, v := range Variants() {
+		if !strings.Contains(out, string(v)) {
+			t.Errorf("table missing variant %s:\n%s", v, out)
+		}
+	}
+	if !strings.Contains(out, "100.0") {
+		t.Errorf("baseline row does not total 100:\n%s", out)
+	}
+
+	var chart strings.Builder
+	WriteBreakdownCharts(&chart, "Breakdown", rows)
+	cout := chart.String()
+	for _, name := range attr.BucketNames() {
+		if !strings.Contains(cout, name) {
+			t.Errorf("chart legend missing bucket %q:\n%s", name, cout)
+		}
+	}
+}

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated: table1,table2,table3,table4,table5,table6,fig1,fig5,verify,all")
+	run := flag.String("run", "all", "comma-separated: table1,table2,table3,table4,table5,table6,fig1,fig5,breakdown,verify,all")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's per-workload transaction counts")
 	seeds := flag.Int("seeds", 3, "number of perturbed runs (error bars) for fig1/fig5")
 	chart := flag.Bool("chart", false, "render fig1/fig5 as ASCII bar charts in addition to tables")
@@ -144,6 +144,19 @@ func main() {
 		if *chart {
 			fmt.Fprintln(out)
 			tokentm.WriteSpeedupChart(out, "Figure 5. TokenTM Performance", rows, tokentm.Variants())
+		}
+		done()
+	}
+	if all || want["breakdown"] {
+		done := section(fmt.Sprintf("Figures 7-9: Execution-Time Breakdown (%% of LogTM-SE_Perf cycles, scale=%.3g, %d seeds)", *scale, *seeds))
+		rows, err := tokentm.BreakdownGrid(runner, *scale, seedList)
+		if err != nil {
+			fail(err)
+		}
+		tokentm.WriteBreakdownTable(out, rows)
+		if *chart {
+			fmt.Fprintln(out)
+			tokentm.WriteBreakdownCharts(out, "Figures 7-9. Execution-Time Breakdown", rows)
 		}
 		done()
 	}

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	tokentm-sim -workload Delaunay -variant TokenTM -scale 0.05 -seed 1
+//	tokentm-sim -workload Delaunay -breakdown
 //	tokentm-sim -list
+//
+// -breakdown runs the chosen workload on every variant and prints the
+// Figure 7-style execution-time breakdown (cycle-attribution buckets as
+// percent of the LogTM-SE_Perf total), enforcing exact cycle conservation.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list workloads and exit")
 	traceN := flag.Int("trace", 0, "dump the last N HTM events after the run")
+	breakdown := flag.Bool("breakdown", false, "run all variants and print the execution-time breakdown (Figure 7 style)")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +50,20 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *name)
 		os.Exit(1)
+	}
+
+	if *breakdown {
+		rows, err := tokentm.WorkloadBreakdown(spec, *scale, *seed)
+		if err != nil {
+			// A conservation violation is a simulator bug, not a user error.
+			fmt.Fprintln(os.Stderr, "breakdown:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload=%s scale=%g seed=%d\n\n", spec.Name, *scale, *seed)
+		tokentm.WriteBreakdownTable(os.Stdout, rows)
+		fmt.Println()
+		tokentm.WriteBreakdownCharts(os.Stdout, "", rows)
+		return
 	}
 
 	var d tokentm.RunDetail

@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"tokentm/internal/attr"
 	"tokentm/internal/harness"
 	"tokentm/internal/htm"
 	"tokentm/internal/lcs"
@@ -25,6 +26,15 @@ type RunDetail struct {
 	Metrics  htm.Metrics
 	// FastCommits/SlowCommits are TokenTM-specific (0 for LogTM-SE).
 	FastCommits, SlowCommits uint64
+	// Breakdown is the machine-wide cycle attribution (Figures 7–9): every
+	// core-clock cycle charged to one attr.Bucket.
+	Breakdown attr.Breakdown
+	// CoreTimes is each core's final clock, indexed by core id; the
+	// breakdown's total equals their sum when conservation holds.
+	CoreTimes []Cycle
+	// AbortRecs is the abort-lifecycle stream: one record per aborted
+	// attempt, with enemy TID, conflicting block and conflict kind.
+	AbortRecs []htm.AbortRecord
 }
 
 // RunWorkload executes spec on a fresh 32-core machine with the given
@@ -42,11 +52,14 @@ func runWorkload(spec workload.Spec, v Variant, scale float64, seed int64) (RunD
 	spec.Build(sys.M, evalCores, scale, seed)
 	cycles := sys.Run()
 	d := RunDetail{
-		Workload: spec.Name,
-		Variant:  v,
-		Cycles:   cycles,
-		Commits:  sys.M.Commits,
-		Metrics:  *sys.HTM.Stats(),
+		Workload:  spec.Name,
+		Variant:   v,
+		Cycles:    cycles,
+		Commits:   sys.M.Commits,
+		Metrics:   *sys.HTM.Stats(),
+		Breakdown: sys.M.BreakdownTotal(),
+		CoreTimes: sys.M.CoreTimes(),
+		AbortRecs: sys.M.AbortRecs,
 	}
 	if tok := sys.TokenTM(); tok != nil {
 		d.FastCommits = tok.FastCommits
@@ -76,18 +89,29 @@ func ExperimentRun(j harness.Job) (harness.Outcome, error) {
 		return harness.Outcome{}, fmt.Errorf("unknown variant %q", j.Variant)
 	}
 	d, sys := runWorkload(spec, v, j.Scale, j.Seed)
+	var coreSum uint64
+	for _, t := range d.CoreTimes {
+		coreSum += uint64(t)
+	}
 	out := harness.Outcome{
-		Cycles:      uint64(d.Cycles),
-		Commits:     uint64(len(d.Commits)),
-		Aborts:      d.Metrics.Aborts,
-		FastCommits: d.FastCommits,
-		SlowCommits: d.SlowCommits,
+		Cycles:       uint64(d.Cycles),
+		Commits:      uint64(len(d.Commits)),
+		Aborts:       d.Metrics.Aborts,
+		FastCommits:  d.FastCommits,
+		SlowCommits:  d.SlowCommits,
+		Breakdown:    d.Breakdown.Map(),
+		CoreCycleSum: coreSum,
 		Extra: map[string]float64{
 			"conflicts":         float64(d.Metrics.Conflicts),
 			"false_conflicts":   float64(d.Metrics.FalseConflicts),
 			"stalls":            float64(d.Metrics.Stalls),
 			"hard_case_lookups": float64(d.Metrics.HardCaseLookups),
 		},
+	}
+	// Cycle conservation is checked per core here, so any unattributed
+	// advance fails the job (and with it harness.Verify and the sweeps).
+	if err := sys.M.CheckConservation(); err != nil {
+		return out, fmt.Errorf("cycle attribution after run: %w", err)
 	}
 	if tok := sys.TokenTM(); tok != nil {
 		if err := tok.CheckBookkeeping(); err != nil {

@@ -1,0 +1,73 @@
+package attr
+
+// TestAllocFreeAnnotations cross-checks this package's //tokentm:allocfree
+// annotations at runtime: the table's key set must equal the annotation
+// list the static analyzer sees (lint.AllocFreeFuncs), and each entry must
+// measure zero allocations per run on its steady-state path.
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"tokentm/internal/lint"
+)
+
+func TestAllocFreeAnnotations(t *testing.T) {
+	var b, o Breakdown
+	o.Charge(Useful, 1)
+	var sink bool
+
+	entries := []struct {
+		name string
+		fn   func()
+	}{
+		{"Breakdown.Charge", func() {
+			for _, k := range []Bucket{Useful, ReadStall, Wasted, CtxSwitch} {
+				b.Charge(k, 3)
+			}
+		}},
+		{"Breakdown.Get", func() {
+			if b.Get(Useful) == 0 {
+				t.Fatal("Useful should hold cycles")
+			}
+		}},
+		{"Breakdown.Total", func() {
+			if b.Total() == 0 {
+				t.Fatal("total should be nonzero")
+			}
+		}},
+		{"Breakdown.Merge", func() { b.Merge(&o) }},
+		{"Breakdown.Reset", func() {
+			b.Reset()
+			b.Charge(Useful, 5)
+		}},
+		{"Bucket.InAttempt", func() { sink = Useful.InAttempt() && !Commit.InAttempt() }},
+	}
+
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	want, err := lint.AllocFreeFuncs(".")
+	if err != nil {
+		t.Fatalf("scanning annotations: %v", err)
+	}
+	if !slices.Equal(names, want) {
+		t.Fatalf("annotation/table drift:\n annotated: %v\n table:     %v", want, names)
+	}
+
+	for _, e := range entries {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				e.fn()
+			}
+			if n := testing.AllocsPerRun(100, e.fn); n != 0 {
+				t.Errorf("%s allocates %.0f times per run; want 0", e.name, n)
+			}
+		})
+	}
+	_ = sink
+}

@@ -1,0 +1,97 @@
+package attr
+
+import (
+	"testing"
+
+	"tokentm/internal/mem"
+)
+
+func TestBucketNames(t *testing.T) {
+	names := BucketNames()
+	if len(names) != int(NumBuckets) {
+		t.Fatalf("got %d names, want %d", len(names), NumBuckets)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("bucket %d has empty name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate bucket name %q", n)
+		}
+		seen[n] = true
+		if got := Bucket(i).String(); got != n {
+			t.Errorf("Bucket(%d).String() = %q, want %q", i, got, n)
+		}
+	}
+	if names[0] != "useful" || names[NumBuckets-1] != "ctx_switch" {
+		t.Errorf("stack order changed: first=%q last=%q", names[0], names[NumBuckets-1])
+	}
+}
+
+func TestBucketStringPanicsOutOfRange(t *testing.T) {
+	for _, k := range []Bucket{NumBuckets, Bucket(-1), NumBuckets + 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bucket(%d).String() did not panic", k)
+				}
+			}()
+			_ = k.String()
+		}()
+	}
+}
+
+func TestInAttempt(t *testing.T) {
+	// Exactly the buckets a doomed attempt reclassifies as Wasted.
+	want := map[Bucket]bool{Useful: true, ReadStall: true, WriteStall: true, Begin: true}
+	for _, k := range Buckets() {
+		if got := k.InAttempt(); got != want[k] {
+			t.Errorf("%s.InAttempt() = %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestChargeTotalMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Charge(Useful, 10)
+	a.Charge(Useful, 5)
+	a.Charge(Commit, 3)
+	b.Charge(Wasted, 7)
+
+	if got := a.Get(Useful); got != 15 {
+		t.Errorf("Get(Useful) = %d, want 15", got)
+	}
+	if got := a.Total(); got != 18 {
+		t.Errorf("a.Total() = %d, want 18", got)
+	}
+	a.Merge(&b)
+	if got := a.Get(Wasted); got != 7 {
+		t.Errorf("after merge, Get(Wasted) = %d, want 7", got)
+	}
+	if got := a.Total(); got != 25 {
+		t.Errorf("after merge, a.Total() = %d, want 25", got)
+	}
+	if got := b.Total(); got != 7 {
+		t.Errorf("merge mutated source: b.Total() = %d, want 7", got)
+	}
+	a.Reset()
+	if got := a.Total(); got != 0 {
+		t.Errorf("after reset, a.Total() = %d, want 0", got)
+	}
+}
+
+func TestMapIncludesZeroBuckets(t *testing.T) {
+	var b Breakdown
+	b.Charge(ReadStall, mem.Cycle(42))
+	m := b.Map()
+	if len(m) != int(NumBuckets) {
+		t.Fatalf("Map has %d keys, want %d (zero buckets must be present)", len(m), NumBuckets)
+	}
+	if m["read_stall"] != 42 {
+		t.Errorf(`m["read_stall"] = %d, want 42`, m["read_stall"])
+	}
+	if v, ok := m["abort_backoff"]; !ok || v != 0 {
+		t.Errorf(`m["abort_backoff"] = %d, %v; want 0, true`, v, ok)
+	}
+}

@@ -328,40 +328,20 @@ func (t *TokenTM) hardCaseLookup(b mem.BlockAddr, self mem.TID) ([]*htm.Xact, me
 	return enemies, lat
 }
 
-// conflictKind classifies conflicts for the metrics breakdown.
-type conflictKind int
-
-const (
-	confReadVsWriter conflictKind = iota
-	confWriteVsReaders
-	confWriteVsWriter
-	confNonXact
-)
-
 // conflict traps to the software contention manager and applies the
-// timestamp policy.
-func (t *TokenTM) conflict(req *htm.Xact, enemies []*htm.Xact, retries int, lat mem.Cycle, kind conflictKind) htm.Access {
+// timestamp policy, recording abort attribution (winner, block, kind) on
+// every loser.
+func (t *TokenTM) conflict(req *htm.Xact, b mem.BlockAddr, enemies []*htm.Xact, retries int, lat mem.Cycle, kind htm.ConflictKind) htm.Access {
 	t.Metrics.Conflicts++
-	switch kind {
-	case confReadVsWriter:
-		t.Metrics.ReadVsWriter++
-	case confWriteVsReaders:
-		t.Metrics.WriteVsReaders++
-	case confWriteVsWriter:
-		t.Metrics.WriteVsWriter++
-	case confNonXact:
-		t.Metrics.NonXactConf++
-	}
+	t.Metrics.CountConflict(kind)
 	lat += htm.ConflictTrapCycles
 	abort, dec := htm.ResolveTimestamp(req, enemies, retries, t.retryLimit)
-	for _, e := range abort {
-		e.AbortRequested = true
-	}
+	htm.ApplyResolution(req, enemies, abort, dec, b, kind)
 	if dec == htm.DecideAbortSelf {
-		return htm.Access{Outcome: htm.AbortSelf, Latency: lat, Enemies: enemies}
+		return htm.Access{Outcome: htm.AbortSelf, Latency: lat, Enemies: enemies, Kind: kind}
 	}
 	t.Metrics.Stalls++
-	return htm.Access{Outcome: htm.Stall, Latency: lat, Enemies: enemies}
+	return htm.Access{Outcome: htm.Stall, Latency: lat, Enemies: enemies, Kind: kind}
 }
 
 // logWrite simulates appending a record to the thread's in-memory log. The
@@ -420,7 +400,7 @@ func (t *TokenTM) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.
 		}
 		if p.writer != mem.NoTID && p.writer != self {
 			enemies := t.enemiesOf1(p.writer, self)
-			return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
+			return 0, t.conflict(x, b, enemies, retries, coherence.L1HitCycles, htm.KindReadVsWriter)
 		}
 		lat := t.ms.Access(core, b, false)
 		line = t.ms.LineAt(core, b)
@@ -435,14 +415,14 @@ func (t *TokenTM) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.
 	if x == nil {
 		if line.Meta.Wp {
 			enemies := t.enemiesOf1(mem.TID(line.Meta.Attr), mem.NoTID)
-			return 0, t.conflict(nil, enemies, retries, coherence.L1HitCycles, confNonXact)
+			return 0, t.conflict(nil, b, enemies, retries, coherence.L1HitCycles, htm.KindNonXact)
 		}
 		lat := t.ms.Access(core, b, false)
 		return t.store.Load(addr), htm.Access{Latency: lat}
 	}
 	if line.Meta.Wp && mem.TID(line.Meta.Attr) != x.TID {
 		enemies := t.enemiesOf1(mem.TID(line.Meta.Attr), x.TID)
-		return 0, t.conflict(x, enemies, retries, coherence.L1HitCycles, confReadVsWriter)
+		return 0, t.conflict(x, b, enemies, retries, coherence.L1HitCycles, htm.KindReadVsWriter)
 	}
 	lat := t.ms.Access(core, b, false)
 	lat += t.acquireRead(th, line, b)
@@ -509,9 +489,9 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 			if uint32(len(enemies)) < minNonWriter(p) {
 				more, walkLat := t.hardCaseLookup(b, mem.NoTID)
 				enemies = more
-				return t.conflict(nil, enemies, retries, coherence.L1HitCycles+walkLat, confNonXact)
+				return t.conflict(nil, b, enemies, retries, coherence.L1HitCycles+walkLat, htm.KindNonXact)
 			}
-			return t.conflict(nil, enemies, retries, coherence.L1HitCycles, confNonXact)
+			return t.conflict(nil, b, enemies, retries, coherence.L1HitCycles, htm.KindNonXact)
 		}
 		lat := t.ms.Access(core, b, true)
 		t.store.StoreWord(addr, val)
@@ -524,7 +504,7 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 	case p.writer == x.TID:
 		needed = 0
 	case p.writer != mem.NoTID:
-		return t.conflict(x, t.enemiesOf1(p.writer, x.TID), retries, coherence.L1HitCycles, confWriteVsWriter)
+		return t.conflict(x, b, t.enemiesOf1(p.writer, x.TID), retries, coherence.L1HitCycles, htm.KindWriteVsWriter)
 	default:
 		others := p.sum - mine
 		if others > 0 {
@@ -535,7 +515,7 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 				// hardest case.
 				enemies, walkLat = t.hardCaseLookup(b, x.TID)
 			}
-			return t.conflict(x, enemies, retries, coherence.L1HitCycles+walkLat, confWriteVsReaders)
+			return t.conflict(x, b, enemies, retries, coherence.L1HitCycles+walkLat, htm.KindWriteVsReaders)
 		}
 		needed = metastate.T - mine
 	}

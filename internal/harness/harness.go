@@ -60,6 +60,13 @@ type Outcome struct {
 	// Extra carries variant-specific counters (false conflicts, hard-case
 	// lookups, ...) without widening the schema per variant.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Breakdown is the machine-wide cycle attribution, bucket name → cycles
+	// (attr.Bucket names; every bucket present, zero or not). Its values
+	// must sum to CoreCycleSum — Verify enforces this conservation.
+	Breakdown map[string]uint64 `json:"breakdown,omitempty"`
+	// CoreCycleSum is the sum of all per-core clocks after the run (the
+	// denominator of the breakdown's percentages).
+	CoreCycleSum uint64 `json:"core_cycle_sum,omitempty"`
 }
 
 // Result is a Job plus its Outcome, or its failure.

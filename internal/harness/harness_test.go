@@ -289,3 +289,40 @@ func TestGridRowMajorOrder(t *testing.T) {
 		t.Fatalf("jobs[3] = %+v, want %+v", jobs[3], want)
 	}
 }
+
+func TestVerifyCatchesBrokenConservation(t *testing.T) {
+	// A breakdown whose buckets sum to the core clocks passes.
+	conserving := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{
+			Cycles: 1000, Commits: 50, FastCommits: 30, SlowCommits: 20,
+			Breakdown:    map[string]uint64{"useful": 700, "read_stall": 250, "commit": 50},
+			CoreCycleSum: 1000,
+		}, nil
+	}
+	r := &harness.Runner{Run: conserving, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err != nil {
+		t.Fatalf("conserving breakdown failed verify: %v", err)
+	}
+
+	// One unattributed cycle must fail loudly.
+	leaking := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{
+			Cycles: 1000, Commits: 50, FastCommits: 30, SlowCommits: 20,
+			Breakdown:    map[string]uint64{"useful": 700, "read_stall": 250, "commit": 49},
+			CoreCycleSum: 1000,
+		}, nil
+	}
+	r = &harness.Runner{Run: leaking, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err == nil {
+		t.Fatal("unattributed cycle not caught")
+	}
+
+	// Runs that report no breakdown (older producers) are not penalized.
+	bare := func(j harness.Job) (harness.Outcome, error) {
+		return harness.Outcome{Cycles: 1000, Commits: 50, FastCommits: 30, SlowCommits: 20}, nil
+	}
+	r = &harness.Runner{Run: bare, Parallel: 1}
+	if err := r.Verify(harness.Job{Workload: "w", Variant: "V"}, 1, 2); err != nil {
+		t.Fatalf("breakdown-less outcome failed verify: %v", err)
+	}
+}

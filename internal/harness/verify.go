@@ -22,6 +22,8 @@ import (
 //   - commit counts must match across seeds;
 //   - fast + slow release commits must account for every commit (when the
 //     variant splits them, i.e. the counts are nonzero);
+//   - the cycle-attribution breakdown, when reported, must sum exactly to
+//     the core clocks (no simulated cycle escapes classification);
 //   - all runs must succeed (the RunFunc is expected to fold deeper
 //     invariants, like TokenTM's token-bookkeeping balance, into its error).
 //
@@ -42,6 +44,19 @@ func (r *Runner) Verify(j Job, seedA, seedB int64) error {
 		if split := out.FastCommits + out.SlowCommits; split != 0 && split != out.Commits {
 			return fmt.Errorf("harness: verify %s: fast %d + slow %d != commits %d",
 				job, out.FastCommits, out.SlowCommits, out.Commits)
+		}
+		// Cycle conservation: the attribution buckets must account for
+		// every simulated cycle on every core (summation is
+		// order-independent, so map iteration is safe here).
+		if len(out.Breakdown) > 0 {
+			var sum uint64
+			for _, v := range out.Breakdown {
+				sum += v
+			}
+			if sum != out.CoreCycleSum {
+				return fmt.Errorf("harness: verify %s: breakdown buckets sum to %d cycles but core clocks sum to %d",
+					job, sum, out.CoreCycleSum)
+			}
 		}
 		outs[i] = out
 	}

@@ -63,9 +63,46 @@ type Access struct {
 	Latency mem.Cycle
 	// Enemies lists identified conflicting transactions (for diagnostics).
 	Enemies []*Xact
+	// Kind classifies the conflict (KindNone for OK accesses).
+	Kind ConflictKind
 	// False marks a conflict that exact read/write sets would not have
 	// flagged — a signature false positive (Figure 1's subject).
 	False bool
+}
+
+// ConflictKind classifies a conflict by the requester's and holders' roles.
+type ConflictKind int
+
+// Conflict kinds. KindNone is the zero value: no conflict recorded.
+const (
+	KindNone ConflictKind = iota
+	// KindReadVsWriter: a read found a foreign transactional writer.
+	KindReadVsWriter
+	// KindWriteVsReaders: a write found foreign transactional readers.
+	KindWriteVsReaders
+	// KindWriteVsWriter: a write found a foreign transactional writer.
+	KindWriteVsWriter
+	// KindNonXact: a non-transactional access hit transactional state
+	// (strong atomicity).
+	KindNonXact
+)
+
+// String names the conflict kind.
+func (k ConflictKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindReadVsWriter:
+		return "read-vs-writer"
+	case KindWriteVsReaders:
+		return "write-vs-readers"
+	case KindWriteVsWriter:
+		return "write-vs-writer"
+	case KindNonXact:
+		return "non-transactional"
+	default:
+		panic("htm: unknown conflict kind")
+	}
 }
 
 // Xact is one transaction attempt's record.
@@ -103,6 +140,30 @@ type Xact struct {
 	Attempts int
 	// LogStall accumulates cycles stalled writing log records.
 	LogStall mem.Cycle
+
+	// Cycle-attribution accumulators (Figures 7–9). StallCycles,
+	// BackoffCycles and WastedCycles span the transaction's whole lifetime —
+	// they survive Reset so the committing attempt's record carries the full
+	// cost of getting there.
+	//
+	// StallCycles is time trapped in the contention manager.
+	StallCycles mem.Cycle
+	// BackoffCycles is randomized stall backoff between conflict retries.
+	BackoffCycles mem.Cycle
+	// WastedCycles is work performed by attempts that aborted.
+	WastedCycles mem.Cycle
+
+	// Abort attribution for the *current* attempt (cleared by Reset): set by
+	// the contention manager when this transaction is told to abort, consumed
+	// by the simulator's abort-lifecycle record.
+	//
+	// AbortedBy is the winner's TID (NoTID for a non-transactional winner or
+	// a user-initiated retry).
+	AbortedBy mem.TID
+	// AbortBlock is the block the losing conflict was on.
+	AbortBlock mem.BlockAddr
+	// AbortKind classifies the losing conflict (KindNone: no abort recorded).
+	AbortKind ConflictKind
 }
 
 // Reset prepares the record for a fresh attempt, preserving Timestamp and
@@ -122,6 +183,9 @@ func (x *Xact) Reset() {
 		clear(x.WriteSet)
 	}
 	x.LogStall = 0
+	x.AbortedBy = mem.NoTID
+	x.AbortBlock = 0
+	x.AbortKind = KindNone
 }
 
 // Older reports whether x has priority over y under timestamp ordering,
@@ -189,6 +253,34 @@ func ResolveTimestamp(req *Xact, enemies []*Xact, retries, retryLimit int) (abor
 	return abort, DecideStall
 }
 
+// ApplyResolution records a contention-management verdict on the losers:
+// every transaction in abort is marked AbortRequested with attribution
+// (winner's TID, conflicting block, conflict kind), and a requester ordered
+// to abort itself records its first identified enemy as the winner. Only the
+// first cause per attempt sticks — a victim already condemned keeps its
+// original attribution until Reset.
+func ApplyResolution(req *Xact, enemies, abort []*Xact, dec Decision, b mem.BlockAddr, kind ConflictKind) {
+	winner := mem.NoTID
+	if req != nil {
+		winner = req.TID
+	}
+	for _, e := range abort {
+		e.AbortRequested = true
+		if e.AbortKind == KindNone {
+			e.AbortedBy = winner
+			e.AbortBlock = b
+			e.AbortKind = kind
+		}
+	}
+	if dec == DecideAbortSelf && req != nil && req.AbortKind == KindNone {
+		if len(enemies) > 0 {
+			req.AbortedBy = enemies[0].TID
+		}
+		req.AbortBlock = b
+		req.AbortKind = kind
+	}
+}
+
 // System is the interface each HTM variant implements; the simulator calls
 // it with the scheduler's turn held, so implementations need no locking.
 type System interface {
@@ -232,6 +324,34 @@ type CommitRecord struct {
 	LogStall mem.Cycle
 	// Attempts is the number of tries (1 = committed first time).
 	Attempts int
+	// StallCycles/BackoffCycles/WastedCycles carry the transaction's
+	// lifetime conflict costs (accumulated across all attempts, aborted ones
+	// included) into the commit stream for per-transaction attribution.
+	StallCycles   mem.Cycle
+	BackoffCycles mem.Cycle
+	WastedCycles  mem.Cycle
+}
+
+// AbortRecord captures one aborted transaction attempt for the lifecycle
+// stream: who lost, who won, where, and what the attempt cost.
+type AbortRecord struct {
+	// Thread is the simulator thread id; TID the transactional identity
+	// (auxiliary TIDs for open-nested attempts).
+	Thread int
+	TID    mem.TID
+	// Attempt is the 1-based attempt number that aborted.
+	Attempt int
+	// Enemy is the conflict winner's TID (NoTID for a non-transactional
+	// winner or a user-initiated retry).
+	Enemy mem.TID
+	// Block is the block the losing conflict was on.
+	Block mem.BlockAddr
+	// Kind classifies the losing conflict (KindNone for user retries).
+	Kind ConflictKind
+	// Wasted is the attempt's reclassified work (begin + useful + memory).
+	Wasted mem.Cycle
+	// Unroll is the abort handler's log-walk time.
+	Unroll mem.Cycle
 }
 
 // Metrics aggregates HTM events over a run.
@@ -253,3 +373,20 @@ type Metrics struct {
 
 // RecordCommit appends a commit record.
 func (m *Metrics) RecordCommit(r CommitRecord) { m.Commits = append(m.Commits, r) }
+
+// CountConflict bumps the per-kind conflict counter for k.
+func (m *Metrics) CountConflict(k ConflictKind) {
+	switch k {
+	case KindNone:
+	case KindReadVsWriter:
+		m.ReadVsWriter++
+	case KindWriteVsReaders:
+		m.WriteVsReaders++
+	case KindWriteVsWriter:
+		m.WriteVsWriter++
+	case KindNonXact:
+		m.NonXactConf++
+	default:
+		panic("htm: unknown conflict kind")
+	}
+}

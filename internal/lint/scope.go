@@ -12,6 +12,7 @@ import "strings"
 // simPackages are the simulation packages: no wall-clock, no global rand,
 // no map-order-dependent control flow, exhaustive enum switches.
 var simPackages = []string{
+	"internal/attr",
 	"internal/cache",
 	"internal/coherence",
 	"internal/core",

@@ -96,17 +96,22 @@ func (s *LogTMSE) Begin(th *htm.Thread, now mem.Cycle) mem.Cycle {
 
 // checkConflict tests b against every other in-flight transaction's
 // signatures: write requests conflict with foreign read or write sets, read
-// requests with foreign write sets. It returns the identified enemies and
-// whether the conflict is a pure signature false positive. Threads are
-// walked in TID order so the enemy list is deterministic.
-func (s *LogTMSE) checkConflict(self mem.TID, b mem.BlockAddr, isWrite bool) (enemies []*htm.Xact, falsePositive bool) {
+// requests with foreign write sets. It returns the identified enemies, the
+// conflict's kind (KindNone when there are no enemies) and whether the
+// conflict is a pure signature false positive. Threads are walked in TID
+// order so the enemy list is deterministic.
+func (s *LogTMSE) checkConflict(self mem.TID, b mem.BlockAddr, isWrite bool) (enemies []*htm.Xact, kind htm.ConflictKind, falsePositive bool) {
 	real := false
+	writerHit := false
 	for _, th := range s.threads {
 		if th.TID == self || !th.InXact() {
 			continue
 		}
 		sg := s.sigs[th.TID]
 		hit := sg.write.Test(b)
+		if hit {
+			writerHit = true
+		}
 		if !hit && isWrite {
 			hit = sg.read.Test(b)
 		}
@@ -121,24 +126,35 @@ func (s *LogTMSE) checkConflict(self mem.TID, b mem.BlockAddr, isWrite bool) (en
 			real = true
 		}
 	}
-	return enemies, len(enemies) > 0 && !real
+	switch {
+	case len(enemies) == 0:
+		kind = htm.KindNone
+	case self == mem.NoTID:
+		kind = htm.KindNonXact
+	case !isWrite:
+		kind = htm.KindReadVsWriter
+	case writerHit:
+		kind = htm.KindWriteVsWriter
+	default:
+		kind = htm.KindWriteVsReaders
+	}
+	return enemies, kind, len(enemies) > 0 && !real
 }
 
-func (s *LogTMSE) conflict(req *htm.Xact, enemies []*htm.Xact, retries int, falsePos bool) htm.Access {
+func (s *LogTMSE) conflict(req *htm.Xact, b mem.BlockAddr, enemies []*htm.Xact, retries int, kind htm.ConflictKind, falsePos bool) htm.Access {
 	s.Metrics.Conflicts++
+	s.Metrics.CountConflict(kind)
 	if falsePos {
 		s.Metrics.FalseConflicts++
 	}
 	lat := coherence.L1HitCycles + htm.ConflictTrapCycles
 	abort, dec := htm.ResolveTimestamp(req, enemies, retries, s.retryLimit)
-	for _, e := range abort {
-		e.AbortRequested = true
-	}
+	htm.ApplyResolution(req, enemies, abort, dec, b, kind)
 	if dec == htm.DecideAbortSelf {
-		return htm.Access{Outcome: htm.AbortSelf, Latency: lat, Enemies: enemies, False: falsePos}
+		return htm.Access{Outcome: htm.AbortSelf, Latency: lat, Enemies: enemies, Kind: kind, False: falsePos}
 	}
 	s.Metrics.Stalls++
-	return htm.Access{Outcome: htm.Stall, Latency: lat, Enemies: enemies, False: falsePos}
+	return htm.Access{Outcome: htm.Stall, Latency: lat, Enemies: enemies, Kind: kind, False: falsePos}
 }
 
 // logWrite simulates the log append; like TokenTM's, log stores drain
@@ -180,8 +196,8 @@ func (s *LogTMSE) Load(th *htm.Thread, addr mem.Addr, retries int) (uint64, htm.
 			return s.store.Load(addr), htm.Access{Latency: lat}
 		}
 	}
-	if enemies, falsePos := s.checkConflict(self, b, false); len(enemies) > 0 {
-		return 0, s.conflict(x, enemies, retries, falsePos)
+	if enemies, kind, falsePos := s.checkConflict(self, b, false); len(enemies) > 0 {
+		return 0, s.conflict(x, b, enemies, retries, kind, falsePos)
 	}
 	lat := s.ms.Access(th.Core, b, false)
 	if x != nil {
@@ -208,8 +224,8 @@ func (s *LogTMSE) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 			return htm.Access{Latency: lat}
 		}
 	}
-	if enemies, falsePos := s.checkConflict(self, b, true); len(enemies) > 0 {
-		return s.conflict(x, enemies, retries, falsePos)
+	if enemies, kind, falsePos := s.checkConflict(self, b, true); len(enemies) > 0 {
+		return s.conflict(x, b, enemies, retries, kind, falsePos)
 	}
 	lat := s.ms.Access(th.Core, b, true)
 	if x != nil {

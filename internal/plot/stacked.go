@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// stackFills is the fill-character palette for stacked segments, in series
+// order (wraps if there are more series than characters).
+var stackFills = []byte{'#', '=', ':', '+', 'x', 'o', '.', '%', '*', '@', '~', '-'}
+
+// fillChar returns series si's fill character.
+func fillChar(si int) byte { return stackFills[si%len(stackFills)] }
+
+// Stacked is a horizontal stacked bar chart: one bar per group, one segment
+// per series, rendering the Figure 7–9 execution-time breakdowns in ASCII.
+type Stacked struct {
+	Title string
+	// XLabel captions the value axis (e.g. "% of LogTM-SE_Perf cycles").
+	XLabel string
+	// Series are the stack segments, bottom-up in the paper's figures,
+	// left-to-right here.
+	Series []string
+	// Groups label the bars (one per variant, or per workload).
+	Groups []string
+	// Values[g][s] is group g's value for series s. Missing entries are 0.
+	Values [][]float64
+	// Width is the length in characters of the longest bar (default 60).
+	Width int
+	// Normalize scales every bar to full width, showing composition rather
+	// than comparative magnitude.
+	Normalize bool
+}
+
+// Render writes the chart followed by a fill-character legend.
+func (c *Stacked) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+		fmt.Fprintln(w, strings.Repeat("=", len(c.Title)))
+	}
+	var maxTotal float64
+	for _, vals := range c.Values {
+		if t := sum(vals); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	nameW := 0
+	for _, g := range c.Groups {
+		if len(g) > nameW {
+			nameW = len(g)
+		}
+	}
+	for gi, group := range c.Groups {
+		var vals []float64
+		if gi < len(c.Values) {
+			vals = c.Values[gi]
+		}
+		total := sum(vals)
+		denom := maxTotal
+		if c.Normalize {
+			denom = total
+		}
+		var scale float64
+		if denom > 0 {
+			scale = float64(width) / denom
+		}
+		fmt.Fprintf(w, "%-*s |%s| %.1f\n", nameW, group, renderStack(vals, scale, width), total)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(w, "(%s)\n", c.XLabel)
+	}
+	c.renderLegend(w)
+}
+
+// renderStack draws one bar. Segment boundaries are placed by rounding the
+// *cumulative* value, so the drawn segment widths always sum to the bar's
+// rounded total — no drift from per-segment rounding.
+func renderStack(vals []float64, scale float64, width int) string {
+	row := make([]byte, 0, width)
+	cum := 0.0
+	pos := 0
+	for si, v := range vals {
+		cum += v
+		end := int(cum*scale + 0.5)
+		if end > width {
+			end = width
+		}
+		for ; pos < end; pos++ {
+			row = append(row, fillChar(si))
+		}
+	}
+	for ; pos < width; pos++ {
+		row = append(row, ' ')
+	}
+	return string(row)
+}
+
+// renderLegend maps fill characters to series names.
+func (c *Stacked) renderLegend(w io.Writer) {
+	if len(c.Series) == 0 {
+		return
+	}
+	parts := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		parts[i] = fmt.Sprintf("%c %s", fillChar(i), s)
+	}
+	fmt.Fprintf(w, "legend: %s\n", strings.Join(parts, "  "))
+}
+
+func sum(vals []float64) float64 {
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"tokentm/internal/attr"
 	"tokentm/internal/htm"
 	"tokentm/internal/mem"
 )
@@ -19,6 +20,17 @@ const (
 type Ctx struct {
 	th        *Thread
 	xactDepth int
+
+	// Cycle attribution (attr): pend, when non-nil, is the breakdown frame
+	// of the in-flight transaction attempt. In-attempt buckets
+	// (begin/useful/memory stall) accumulate there and are merged into the
+	// core's breakdown on commit — or reclassified as attr.Wasted on abort.
+	// atomPend backs top-level Atomic attempts, openPend open-nested ones;
+	// both are storage reused across attempts, so charging allocates
+	// nothing.
+	pend     *attr.Breakdown
+	atomPend attr.Breakdown
+	openPend attr.Breakdown
 
 	// Open-nesting state (see opennest.go).
 	inOpen        bool
@@ -39,11 +51,48 @@ func (tc *Ctx) ThreadID() int { return tc.th.H.ID }
 // Core returns the core the thread runs on.
 func (tc *Ctx) Core() int { return tc.th.core.id }
 
+// charge attributes n cycles the thread is about to yield: in-attempt
+// buckets go to the pending attempt frame (when one is active), everything
+// else straight to the core's breakdown. Every yield must charge exactly its
+// latency — the conservation invariant audits this.
+//
+//tokentm:allocfree
+func (tc *Ctx) charge(k attr.Bucket, n mem.Cycle) {
+	if tc.pend != nil && k.InAttempt() {
+		tc.pend.Charge(k, n)
+		return
+	}
+	tc.th.m.charge(tc.th.core.id, k, n)
+}
+
+// beginAttempt activates frame as the pending attempt breakdown.
+func (tc *Ctx) beginAttempt(frame *attr.Breakdown) {
+	frame.Reset()
+	tc.pend = frame
+}
+
+// commitAttempt merges the pending frame into the core's breakdown (the
+// attempt's work stands) and deactivates it.
+func (tc *Ctx) commitAttempt(prev *attr.Breakdown) {
+	tc.th.m.breakdowns[tc.th.core.id].Merge(tc.pend)
+	tc.pend = prev
+}
+
+// abortAttempt reclassifies the pending frame's cycles as wasted work and
+// deactivates it, returning the wasted total.
+func (tc *Ctx) abortAttempt(prev *attr.Breakdown) mem.Cycle {
+	wasted := tc.pend.Total()
+	tc.th.m.charge(tc.th.core.id, attr.Wasted, wasted)
+	tc.pend = prev
+	return wasted
+}
+
 // Work advances the thread's clock by n cycles of local computation.
 func (tc *Ctx) Work(n mem.Cycle) {
 	if n == 0 {
 		return
 	}
+	tc.charge(attr.Useful, n)
 	tc.th.yield(opResult{lat: n})
 }
 
@@ -57,6 +106,7 @@ func (tc *Ctx) Load(addr mem.Addr) uint64 {
 		switch acc.Outcome {
 		case htm.OK:
 			tc.setStalling(false)
+			tc.charge(attr.ReadStall, acc.Latency)
 			th.yield(opResult{lat: acc.Latency})
 			return v
 		case htm.Stall:
@@ -64,13 +114,28 @@ func (tc *Ctx) Load(addr mem.Addr) uint64 {
 				panic(errOpenSelfConflict)
 			}
 			tc.setStalling(true)
-			th.yield(opResult{lat: acc.Latency + th.m.backoff(retries)})
+			tc.stall(acc.Latency, th.m.backoff(retries))
 		case htm.AbortSelf:
 			tc.setStalling(false)
+			tc.charge(attr.ConflictStall, acc.Latency)
 			th.yield(opResult{lat: acc.Latency})
 			panic(abortSignal{})
 		}
 	}
+}
+
+// stall charges and yields one conflict stall-retry: the contention-manager
+// trap plus the randomized backoff before the retry. Both buckets survive an
+// eventual abort — the paper stacks conflict time separately from wasted
+// work.
+func (tc *Ctx) stall(trap, backoff mem.Cycle) {
+	tc.charge(attr.ConflictStall, trap)
+	tc.charge(attr.StallBackoff, backoff)
+	if x := tc.th.H.Xact; x != nil {
+		x.StallCycles += trap
+		x.BackoffCycles += backoff
+	}
+	tc.th.yield(opResult{lat: trap + backoff})
 }
 
 // setStalling maintains the deadlock-detection flag the timestamp policy
@@ -89,6 +154,7 @@ func (tc *Ctx) Store(addr mem.Addr, val uint64) {
 		switch acc.Outcome {
 		case htm.OK:
 			tc.setStalling(false)
+			tc.charge(attr.WriteStall, acc.Latency)
 			th.yield(opResult{lat: acc.Latency})
 			return
 		case htm.Stall:
@@ -96,9 +162,10 @@ func (tc *Ctx) Store(addr mem.Addr, val uint64) {
 				panic(errOpenSelfConflict)
 			}
 			tc.setStalling(true)
-			th.yield(opResult{lat: acc.Latency + th.m.backoff(retries)})
+			tc.stall(acc.Latency, th.m.backoff(retries))
 		case htm.AbortSelf:
 			tc.setStalling(false)
+			tc.charge(attr.ConflictStall, acc.Latency)
 			th.yield(opResult{lat: acc.Latency})
 			panic(abortSignal{})
 		}
@@ -143,7 +210,11 @@ func (tc *Ctx) Atomic(fn func(*Tx)) {
 		x.Core = th.core.id
 		x.BeginTime = tc.Now()
 		th.H.Xact = x
-		th.yield(opResult{lat: th.m.HTM.Begin(th.H, tc.Now())})
+		prev := tc.pend
+		tc.beginAttempt(&tc.atomPend)
+		beginLat := th.m.HTM.Begin(th.H, tc.Now())
+		tc.charge(attr.Begin, beginLat)
+		th.yield(opResult{lat: beginLat})
 
 		if tc.runBody(fn) && !x.AbortRequested {
 			lat, fast := th.m.HTM.Commit(th.H)
@@ -151,13 +222,16 @@ func (tc *Ctx) Atomic(fn func(*Tx)) {
 			// just been applied, so m.Commits is in true serialization
 			// (commit) order across threads.
 			rec := htm.CommitRecord{
-				Thread:      th.H.ID,
-				ReadBlocks:  len(x.ReadSet),
-				WriteBlocks: len(x.WriteSet),
-				Duration:    tc.Now() + lat - x.BeginTime,
-				Fast:        fast,
-				LogStall:    x.LogStall,
-				Attempts:    x.Attempts,
+				Thread:        th.H.ID,
+				ReadBlocks:    len(x.ReadSet),
+				WriteBlocks:   len(x.WriteSet),
+				Duration:      tc.Now() + lat - x.BeginTime,
+				Fast:          fast,
+				LogStall:      x.LogStall,
+				Attempts:      x.Attempts,
+				StallCycles:   x.StallCycles,
+				BackoffCycles: x.BackoffCycles,
+				WastedCycles:  x.WastedCycles,
 			}
 			if !fast {
 				rec.ReleaseCycles = lat
@@ -167,6 +241,8 @@ func (tc *Ctx) Atomic(fn func(*Tx)) {
 			th.m.HTM.Stats().RecordCommit(rec)
 			th.H.Xact = nil
 			tc.compensations = nil // open-nested commits stand
+			tc.commitAttempt(prev)
+			tc.charge(attr.Commit, lat)
 			th.yield(opResult{lat: lat})
 			return
 		}
@@ -174,12 +250,37 @@ func (tc *Ctx) Atomic(fn func(*Tx)) {
 		// Abort: unroll, back off, retry with the original timestamp.
 		lat := th.m.HTM.Abort(th.H)
 		th.AbortCount++
+		wasted := tc.abortAttempt(prev)
+		x.WastedCycles += wasted
+		tc.recordAbort(x, attempt, wasted, lat)
 		th.H.Xact = nil
-		th.yield(opResult{lat: lat + th.m.abortBackoff(attempt)})
+		bo := th.m.abortBackoff(attempt)
+		tc.charge(attr.LogUnroll, lat)
+		tc.charge(attr.AbortBackoff, bo)
+		th.yield(opResult{lat: lat + bo})
 		// Undo committed open-nested children (each compensation is its
 		// own top-level transaction), then retry.
 		tc.runCompensations()
 	}
+}
+
+// recordAbort appends the abort-lifecycle record for one aborted attempt of
+// x, consuming the attribution the contention manager left on it (empty for
+// user-initiated retries).
+func (tc *Ctx) recordAbort(x *htm.Xact, attempt int, wasted, unroll mem.Cycle) {
+	th := tc.th
+	rec := htm.AbortRecord{
+		Thread:  th.H.ID,
+		TID:     x.TID,
+		Attempt: attempt,
+		Enemy:   x.AbortedBy,
+		Block:   x.AbortBlock,
+		Kind:    x.AbortKind,
+		Wasted:  wasted,
+		Unroll:  unroll,
+	}
+	th.AbortRecs = append(th.AbortRecs, rec)
+	th.m.AbortRecs = append(th.m.AbortRecs, rec)
 }
 
 // runBody executes the transaction body, converting an abort unwind into a
@@ -202,21 +303,25 @@ func (tc *Ctx) runBody(fn func(*Tx)) (committed bool) {
 // Lock acquires a simulated OS mutex, blocking (and freeing the core for
 // another thread) if it is held.
 func (tc *Ctx) Lock(id int) {
+	tc.charge(attr.Barrier, LockCycles)
 	tc.th.yield(opResult{lat: LockCycles, wantLock: true, lockWait: id})
 }
 
 // Unlock releases a mutex held by this thread, waking the first waiter.
 func (tc *Ctx) Unlock(id int) {
+	tc.charge(attr.Barrier, LockCycles)
 	tc.th.yield(opResult{lat: LockCycles, doUnlock: true, unlock: id})
 }
 
 // Syscall models a blocking system call of the given duration: the thread
 // traps, blocks, and its core may context-switch to another thread.
 func (tc *Ctx) Syscall(duration mem.Cycle) {
+	tc.charge(attr.Barrier, SyscallEntryCycles)
 	tc.th.yield(opResult{lat: SyscallEntryCycles, sleep: duration})
 }
 
 // Yield voluntarily ends the thread's time slice.
 func (tc *Ctx) Yield() {
+	tc.charge(attr.Barrier, 1)
 	tc.th.yield(opResult{lat: 1, sleep: 1})
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"tokentm/internal/attr"
 	"tokentm/internal/htm"
 	"tokentm/internal/mem"
 	"tokentm/internal/tmlog"
@@ -66,6 +67,7 @@ func (tx *Tx) Open(fn func(*Tx), compensate func(*Tx)) {
 	// Switch the core to the auxiliary identity: flash-OR preserves the
 	// parent's tokens as R'/W' bits (revoking only its fast release).
 	lat := th.m.HTM.ContextSwitch(th.core.id, parent, aux)
+	tc.charge(attr.CtxSwitch, lat)
 	th.yield(opResult{lat: lat})
 
 	x := &htm.Xact{TID: aux.TID, Core: th.core.id, Timestamp: tc.Now()}
@@ -78,22 +80,37 @@ func (tx *Tx) Open(fn func(*Tx), compensate func(*Tx)) {
 		x.Attempts = attempt
 		x.BeginTime = tc.Now()
 		aux.Xact = x
-		th.yield(opResult{lat: th.m.HTM.Begin(aux, tc.Now())})
+		// The open attempt charges its work to its own pending frame; the
+		// parent's frame is suspended while the auxiliary identity runs.
+		prev := tc.pend
+		tc.beginAttempt(&tc.openPend)
+		beginLat := th.m.HTM.Begin(aux, tc.Now())
+		tc.charge(attr.Begin, beginLat)
+		th.yield(opResult{lat: beginLat})
 
 		committed := tc.runOpenBody(fn, parent)
 		if committed && !x.AbortRequested {
 			lat, _ := th.m.HTM.Commit(aux)
 			aux.Xact = nil
+			tc.commitAttempt(prev)
+			tc.charge(attr.Commit, lat)
 			th.yield(opResult{lat: lat})
 			break
 		}
 		lat := th.m.HTM.Abort(aux)
 		th.AbortCount++
-		th.yield(opResult{lat: lat + th.m.abortBackoff(attempt)})
+		wasted := tc.abortAttempt(prev)
+		x.WastedCycles += wasted
+		tc.recordAbort(x, attempt, wasted, lat)
+		bo := th.m.abortBackoff(attempt)
+		tc.charge(attr.LogUnroll, lat)
+		tc.charge(attr.AbortBackoff, bo)
+		th.yield(opResult{lat: lat + bo})
 	}
 
 	// Switch back to the parent identity.
 	lat = th.m.HTM.ContextSwitch(th.core.id, aux, parent)
+	tc.charge(attr.CtxSwitch, lat)
 	th.yield(opResult{lat: lat})
 
 	if compensate != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tokentm/internal/attr"
 	"tokentm/internal/coherence"
 	"tokentm/internal/htm"
 	"tokentm/internal/mem"
@@ -64,6 +65,24 @@ const (
 	tsFinished
 )
 
+// String names the scheduler state (deadlock reports must be actionable).
+func (s threadState) String() string {
+	switch s {
+	case tsRunnable:
+		return "runnable"
+	case tsRunning:
+		return "running"
+	case tsBlockedTime:
+		return "blocked-time"
+	case tsWaitingLock:
+		return "waiting-lock"
+	case tsFinished:
+		return "finished"
+	default:
+		panic("sim: unknown thread state")
+	}
+}
+
 // opResult is what a thread reports back to the scheduler each turn.
 type opResult struct {
 	lat      mem.Cycle
@@ -93,6 +112,9 @@ type Thread struct {
 	Commits []htm.CommitRecord
 	// AbortCount counts aborted attempts.
 	AbortCount int
+	// AbortRecs collects this thread's abort-lifecycle records, one per
+	// aborted attempt (len(AbortRecs) == AbortCount).
+	AbortRecs []htm.AbortRecord
 }
 
 type coreState struct {
@@ -124,6 +146,12 @@ type Machine struct {
 	live    int
 	// Commits aggregates all threads' commit records in commit order.
 	Commits []htm.CommitRecord
+	// AbortRecs aggregates all threads' abort records in abort order.
+	AbortRecs []htm.AbortRecord
+	// breakdowns attributes every core-clock advance to an attr.Bucket,
+	// indexed by core id. The conservation invariant — per-core bucket sums
+	// equal the core clocks — is checked by CheckConservation.
+	breakdowns []attr.Breakdown
 }
 
 // New builds a machine; attach an HTM system with SetHTM before spawning
@@ -145,7 +173,46 @@ func New(cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &coreState{id: i})
 	}
+	m.breakdowns = make([]attr.Breakdown, cfg.Cores)
 	return m
+}
+
+// charge attributes n cycles of core's clock advance to bucket k.
+//
+//tokentm:allocfree
+func (m *Machine) charge(core int, k attr.Bucket, n mem.Cycle) {
+	m.breakdowns[core].Charge(k, n)
+}
+
+// Breakdowns returns a copy of each core's cycle attribution, indexed by
+// core id.
+func (m *Machine) Breakdowns() []attr.Breakdown {
+	out := make([]attr.Breakdown, len(m.breakdowns))
+	copy(out, m.breakdowns)
+	return out
+}
+
+// BreakdownTotal merges every core's attribution into one machine-wide
+// breakdown (its Total equals the sum of CoreTimes when conservation holds).
+func (m *Machine) BreakdownTotal() attr.Breakdown {
+	var total attr.Breakdown
+	for i := range m.breakdowns {
+		total.Merge(&m.breakdowns[i])
+	}
+	return total
+}
+
+// CheckConservation verifies the cycle-attribution invariant: every core's
+// bucket sum equals its clock, so no advance of simulated time escaped
+// classification. Call it after Run.
+func (m *Machine) CheckConservation() error {
+	for i, c := range m.cores {
+		if got := m.breakdowns[i].Total(); got != c.time {
+			return fmt.Errorf("sim: core %d breakdown sums to %d cycles but clock is %d (%+d unattributed)",
+				i, got, c.time, int64(c.time)-int64(got))
+		}
+	}
+	return nil
 }
 
 // SetHTM attaches the HTM system (built over m.Mem and m.Store).
@@ -252,8 +319,10 @@ func (m *Machine) pickCore() *coreState {
 		}
 	}
 	if best != nil {
-		// Idle cores fast-forward to their next event.
+		// Idle cores fast-forward to their next event; the gap is scheduler
+		// wait (no runnable thread), charged as barrier time.
 		if best.time < bestTime {
+			m.charge(best.id, attr.Barrier, bestTime-best.time)
 			best.time = bestTime
 		}
 	}
@@ -331,6 +400,7 @@ func (m *Machine) dispatch(c *coreState) {
 			m.deadlock()
 		}
 		if next.wakeAt > c.time {
+			m.charge(c.id, attr.Barrier, next.wakeAt-c.time)
 			c.time = next.wakeAt
 		}
 		m.dispatch(c)
@@ -354,6 +424,7 @@ func (m *Machine) dispatch(c *coreState) {
 			}
 		}
 		if in.readyAt > c.time {
+			m.charge(c.id, attr.Barrier, in.readyAt-c.time)
 			c.time = in.readyAt
 		}
 	}
@@ -362,7 +433,9 @@ func (m *Machine) dispatch(c *coreState) {
 	c.scheduledAt = c.time
 	if c.lastRan != in {
 		if c.lastRan != nil {
-			c.time += m.HTM.ContextSwitch(c.id, c.lastRan.H, in.H)
+			cs := m.HTM.ContextSwitch(c.id, c.lastRan.H, in.H)
+			m.charge(c.id, attr.CtxSwitch, cs)
+			c.time += cs
 		} else {
 			m.HTM.RunningOn(c.id, in.H)
 		}
@@ -442,9 +515,14 @@ func (m *Machine) doUnlock(c *coreState, th *Thread, id int) {
 func (m *Machine) deadlock() {
 	detail := ""
 	for _, th := range m.threads {
-		if th.state != tsFinished {
-			detail += fmt.Sprintf(" thread%d(state=%d)", th.H.ID, th.state)
+		if th.state == tsFinished {
+			continue
 		}
+		detail += fmt.Sprintf(" thread%d(core=%d state=%s", th.H.ID, th.core.id, th.state)
+		if th.state == tsBlockedTime {
+			detail += fmt.Sprintf(" wakeAt=%d", th.wakeAt)
+		}
+		detail += ")"
 	}
 	panic("sim: deadlock —" + detail)
 }

@@ -30,6 +30,20 @@ const (
 	EvCtxSwitch
 )
 
+// hasAddr reports whether events of this kind carry a meaningful Addr.
+// Address 0 is a legal block address, so presence is a property of the kind,
+// not of the value (DumpJSON relies on this to emit addr explicitly).
+func (k Kind) hasAddr() bool {
+	switch k {
+	case EvLoad, EvStore, EvConflict, EvAbortSelf:
+		return true
+	case EvBegin, EvCommitFast, EvCommitSlow, EvAbort, EvCtxSwitch:
+		return false
+	default:
+		return false
+	}
+}
+
 // String names the event kind.
 func (k Kind) String() string {
 	switch k {
@@ -64,6 +78,9 @@ type Event struct {
 	Core    int
 	Addr    mem.Addr
 	Latency mem.Cycle
+	// Conflict classifies the conflict for EvConflict/EvAbortSelf events
+	// (KindNone otherwise).
+	Conflict htm.ConflictKind
 	// Enemies lists conflicting TIDs for EvConflict.
 	Enemies []mem.TID
 }
@@ -71,12 +88,14 @@ type Event struct {
 // String renders the event as one line.
 func (e Event) String() string {
 	s := fmt.Sprintf("#%-6d %-11s tid=%-5d core=%-2d", e.Seq, e.Kind, e.TID, e.Core)
-	switch e.Kind {
-	case EvLoad, EvStore, EvConflict:
+	if e.Kind.hasAddr() {
 		s += fmt.Sprintf(" addr=%v", e.Addr)
 	}
 	if e.Latency > 0 {
 		s += fmt.Sprintf(" lat=%d", e.Latency)
+	}
+	if e.Conflict != htm.KindNone {
+		s += fmt.Sprintf(" conflict=%s", e.Conflict)
 	}
 	if len(e.Enemies) > 0 {
 		s += fmt.Sprintf(" enemies=%v", e.Enemies)
@@ -131,6 +150,17 @@ func (t *Tracer) Len() int {
 // Total returns the number of events ever recorded.
 func (t *Tracer) Total() uint64 { return t.seq }
 
+// Reset returns the tracer to its empty, unbound state so it can be reused
+// with a new machine (e.g. across a harness retry of a failed job): events,
+// sequence numbers and the machine binding are cleared; capacity is kept.
+func (t *Tracer) Reset() {
+	clear(t.events)
+	t.next = 0
+	t.seq = 0
+	t.full = false
+	t.bound = nil
+}
+
 // Events returns the retained events oldest-first.
 func (t *Tracer) Events() []Event {
 	if !t.full {
@@ -149,16 +179,19 @@ func (t *Tracer) Dump(w io.Writer) {
 	}
 }
 
-// jsonEvent is the wire form of an Event: the kind as its symbolic name,
-// zero-valued fields elided.
+// jsonEvent is the wire form of an Event: the kind as its symbolic name.
+// Addr is a pointer so that presence is explicit — block address 0 and
+// "this event kind has no address" are different facts, and latency is
+// always emitted because a genuine 0-cycle latency must not read as absent.
 type jsonEvent struct {
-	Seq     uint64    `json:"seq"`
-	Kind    string    `json:"kind"`
-	TID     mem.TID   `json:"tid"`
-	Core    int       `json:"core"`
-	Addr    mem.Addr  `json:"addr,omitempty"`
-	Latency mem.Cycle `json:"latency,omitempty"`
-	Enemies []mem.TID `json:"enemies,omitempty"`
+	Seq      uint64    `json:"seq"`
+	Kind     string    `json:"kind"`
+	TID      mem.TID   `json:"tid"`
+	Core     int       `json:"core"`
+	Addr     *mem.Addr `json:"addr,omitempty"`
+	Latency  mem.Cycle `json:"latency"`
+	Conflict string    `json:"conflict,omitempty"`
+	Enemies  []mem.TID `json:"enemies,omitempty"`
 }
 
 // DumpJSON writes the retained events oldest-first as one indented JSON
@@ -170,7 +203,14 @@ func (t *Tracer) DumpJSON(w io.Writer) error {
 	for i, e := range events {
 		out[i] = jsonEvent{
 			Seq: e.Seq, Kind: e.Kind.String(), TID: e.TID, Core: e.Core,
-			Addr: e.Addr, Latency: e.Latency, Enemies: e.Enemies,
+			Latency: e.Latency, Enemies: e.Enemies,
+		}
+		if e.Kind.hasAddr() {
+			addr := e.Addr
+			out[i].Addr = &addr
+		}
+		if e.Conflict != htm.KindNone {
+			out[i].Conflict = e.Conflict.String()
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -243,9 +283,9 @@ func (s *System) record(kind Kind, th *htm.Thread, addr mem.Addr, acc htm.Access
 	case htm.OK:
 		s.tracer.Record(Event{Kind: kind, TID: th.TID, Core: th.Core, Addr: addr, Latency: acc.Latency})
 	case htm.Stall:
-		s.tracer.Record(Event{Kind: EvConflict, TID: th.TID, Core: th.Core, Addr: addr, Latency: acc.Latency, Enemies: tids(acc.Enemies)})
+		s.tracer.Record(Event{Kind: EvConflict, TID: th.TID, Core: th.Core, Addr: addr, Latency: acc.Latency, Conflict: acc.Kind, Enemies: tids(acc.Enemies)})
 	case htm.AbortSelf:
-		s.tracer.Record(Event{Kind: EvAbortSelf, TID: th.TID, Core: th.Core, Addr: addr})
+		s.tracer.Record(Event{Kind: EvAbortSelf, TID: th.TID, Core: th.Core, Addr: addr, Conflict: acc.Kind})
 	}
 }
 

@@ -160,3 +160,86 @@ func TestDumpJSON(t *testing.T) {
 		t.Fatalf("enemies: %v", events[1])
 	}
 }
+
+// TestDumpJSONAddrZero pins the presence semantics the old schema got
+// wrong: block address 0 on an access event must appear in the JSON as an
+// explicit "addr": 0 (presence by event kind, not by value), a genuine
+// 0-cycle latency must still be emitted, and kinds without an address must
+// omit the key entirely.
+func TestDumpJSONAddrZero(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{Kind: EvLoad, TID: 2, Core: 0, Addr: 0, Latency: 0})
+	tr.Record(Event{Kind: EvBegin, TID: 2, Core: 0, Latency: 0})
+
+	var buf bytes.Buffer
+	if err := tr.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	load, begin := events[0], events[1]
+	addr, ok := load["addr"]
+	if !ok {
+		t.Fatalf("load at address 0 lost its addr field: %s", buf.String())
+	}
+	if string(addr) != "0" {
+		t.Fatalf("load addr = %s, want 0", addr)
+	}
+	lat, ok := load["latency"]
+	if !ok {
+		t.Fatalf("0-cycle latency omitted: %s", buf.String())
+	}
+	if string(lat) != "0" {
+		t.Fatalf("load latency = %s, want 0", lat)
+	}
+	if _, ok := begin["addr"]; ok {
+		t.Fatalf("begin event must not carry addr: %s", buf.String())
+	}
+	if _, ok := begin["latency"]; !ok {
+		t.Fatalf("begin event lost latency: %s", buf.String())
+	}
+}
+
+// TestTracerReset pins the reuse path: Reset returns a bound, full tracer
+// to its empty state, after which it can legally wrap a different machine's
+// system (the thing Wrap's binding check forbids without Reset).
+func TestTracerReset(t *testing.T) {
+	run := func(tr *Tracer) uint64 {
+		m := sim.New(sim.Config{Cores: 1})
+		m.SetHTM(Wrap(core.New(m.Mem, m.Store), tr))
+		m.Spawn(func(tc *sim.Ctx) {
+			tc.Atomic(func(tx *sim.Tx) {
+				tx.Store(0x40, tx.Load(0x40)+1)
+			})
+		})
+		m.Run()
+		return m.Store.Load(0x40)
+	}
+
+	tr := NewTracer(8)
+	if got := run(tr); got != 1 {
+		t.Fatalf("first machine: counter = %d", got)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("first machine recorded nothing")
+	}
+
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatalf("after Reset: len=%d total=%d, want 0/0", tr.Len(), tr.Total())
+	}
+
+	// Without Reset this second Wrap would panic (TestTracerBoundToOneMachine).
+	if got := run(tr); got != 1 {
+		t.Fatalf("second machine: counter = %d", got)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || evs[0].Seq != 0 {
+		t.Fatalf("second machine's events must restart at seq 0: %+v", evs)
+	}
+}
