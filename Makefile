@@ -10,13 +10,16 @@ BENCH_SCALE ?= 0.02
 BENCH_SEEDS ?= 3
 BENCH_PARALLEL ?= 0
 
-.PHONY: verify lint race bench breakdown microbench profile clean-cache
+.PHONY: verify lint race bench breakdown explore microbench profile clean-cache
 
 verify:
 	$(GO) build ./...
 	$(MAKE) lint
 	$(GO) test ./...
 	$(GO) run ./cmd/experiments -run verify -scale 0.01 -progress=false
+	$(GO) run ./cmd/tokentm-explore -program incr-cross -mutation skip-log-credit -max-schedules 50 > /dev/null 2>&1; \
+		if [ $$? -ne 1 ]; then echo "FAIL: seeded mutation skip-log-credit not detected"; exit 1; fi
+	@echo "PASS: mutation smoke (seeded protocol bug detected by explorer)"
 
 # Static gates: go vet, gofmt, and the tokentm analyzer suite
 # (maporder, wallclock, allocfree, exhaustive — see internal/lint).
@@ -42,6 +45,14 @@ breakdown:
 	$(GO) run ./cmd/experiments -run breakdown \
 		-scale $(BENCH_SCALE) -seeds $(BENCH_SEEDS) -parallel $(BENCH_PARALLEL) \
 		-progress=false -json BENCH_breakdown.json
+
+# Schedule-exploration sweep (stateless model checking): every exploration
+# program x variant enumerated exhaustively within the default budget, plus
+# the seeded-mutation smoke checks. No wall-clock fields, so
+# BENCH_explore.json is fully deterministic and CI diffs it after
+# regeneration. Exit 1 on any violation/incomplete cell/missed mutation.
+explore:
+	$(GO) run ./cmd/tokentm-explore -sweep -json BENCH_explore.json
 
 # Protocol-path microbenchmarks (probe, commit, abort) plus the end-to-end
 # small sweep, with allocation counts. Output is benchstat-comparable: save

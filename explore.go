@@ -1,0 +1,19 @@
+package tokentm
+
+import (
+	"io"
+
+	"tokentm/internal/explore"
+)
+
+// ExploreSweep runs the standard schedule-exploration sweep — every
+// exploration program under every variant, exhaustively within the default
+// CI budget, plus the seeded-mutation smoke checks — writing the summary
+// table to out. The returned slice lists everything wrong (protocol
+// violations, incomplete enumerations, missed mutations); empty means the
+// model checker proved all invariants over the bounded schedule space.
+func ExploreSweep(out io.Writer) []string {
+	sw := explore.StandardSweep(explore.DefaultBudget())
+	explore.WriteTable(out, sw)
+	return sw.Failures()
+}

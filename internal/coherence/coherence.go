@@ -83,6 +83,10 @@ type Stats struct {
 	Writebacks    uint64
 	Upgrades      uint64
 	Forwards      uint64
+	// Evictions counts L1 replacement-policy victims (capacity/conflict
+	// evictions chosen by LRU). The schedule explorer's state fingerprints
+	// exclude LRU ordering, which is sound only while this stays zero.
+	Evictions uint64
 }
 
 // dirEntry tracks one block's L1 copies.
@@ -249,6 +253,7 @@ func (m *MemSys) Access(core int, b mem.BlockAddr, write bool) mem.Cycle {
 	}
 	victim, evicted := l1.Insert(b, state)
 	if evicted {
+		m.Stats.Evictions++
 		m.retire(core, victim, LossEvict)
 	}
 	lat += L1FillCycles

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"tokentm/internal/statehash"
+)
+
+// FingerprintTo mixes TokenTM's protocol state: the home metastate image (in
+// ascending block order; setHome deletes zero entries, so presence is
+// canonical), the LimitLESS overflow table, and which transactional thread
+// occupies each core (curTID drives how the R/W columns are interpreted).
+// Metrics and commit counters are measurement, not protocol state.
+func (t *TokenTM) FingerprintTo(h *statehash.Hash) {
+	h.Mark('H')
+	blocks := sortedBlocks(t.home)
+	h.Int(len(blocks))
+	for _, b := range blocks {
+		h.U64(uint64(b))
+		t.home[b].FingerprintTo(h)
+	}
+	t.overflow.FingerprintTo(h)
+	h.Mark('R')
+	for core := range t.running {
+		h.U16(uint16(t.curTID(core)))
+	}
+}

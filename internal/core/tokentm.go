@@ -33,6 +33,9 @@ type TokenTM struct {
 	name        string
 	fastRelease bool
 	retryLimit  int
+	// mutation, when not MutNone, disables one protocol rule so the
+	// schedule explorer can prove it detects the resulting violations.
+	mutation Mutation
 
 	ms    *coherence.MemSys
 	store *mem.Store
@@ -177,6 +180,9 @@ func (t *TokenTM) CopyCreated(core int, b mem.BlockAddr, line *cache.Line, info 
 	}
 	kept, newCopy := metastate.Fission(t.home[b])
 	t.setHome(b, kept)
+	if t.mutation == MutNoFissionWriter {
+		newCopy = metastate.Zero
+	}
 	line.Meta = mustL1(newCopy, cur)
 }
 
@@ -439,8 +445,10 @@ func (t *TokenTM) acquireRead(th *htm.Thread, line *cache.Line, b mem.BlockAddr)
 	var lat mem.Cycle
 	if res.TokensAcquired > 0 {
 		x.Tokens.Add(b, res.TokensAcquired)
-		rAddr, rSize := th.Log.AppendToken(b, res.TokensAcquired)
-		lat += t.logWrite(th, rAddr, rSize)
+		if t.mutation != MutSkipLogCredit {
+			rAddr, rSize := th.Log.AppendToken(b, res.TokensAcquired)
+			lat += t.logWrite(th, rAddr, rSize)
+		}
 	}
 	x.ReadSet[b] = struct{}{}
 	return lat
@@ -524,7 +532,12 @@ func (t *TokenTM) Store(th *htm.Thread, addr mem.Addr, val uint64, retries int) 
 	line := t.ms.LineAt(core, b)
 	// The pre-check proved every outstanding debit is ours, so the write
 	// takes all remaining tokens; the contention manager resolves the
-	// anonymous-count-is-all-mine case in software (§5.2).
+	// anonymous-count-is-all-mine case in software (§5.2). The coherence
+	// upgrade folded every other copy's metastate home (CopyLost), and the
+	// (T,X) metabits we set now assert all T debits locally — so the homed
+	// share (e.g. our own reader token stranded by an earlier eviction or
+	// page-out) is absorbed into the claim, not left to double-count.
+	t.setHome(b, metastate.Zero)
 	line.Meta = metastate.L1Meta{W: true, Attr: uint16(x.TID)}
 
 	if _, seen := x.WriteSet[b]; !seen {

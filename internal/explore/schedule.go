@@ -1,0 +1,87 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DecisionKind classifies one scheduling decision.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// DecRun steps one thread turn on a core.
+	DecRun DecisionKind = iota
+	// DecPreempt forces an involuntary context switch on a core (the
+	// adversary's quantum expiry), consuming one preemption budget unit.
+	DecPreempt
+	// DecBounce pages the program's page out and immediately back in (the
+	// §5.3 virtualization adversary), consuming one bounce budget unit.
+	DecBounce
+)
+
+// Decision is one node of a schedule: what the scheduler (or the adversary)
+// does at one decision point.
+type Decision struct {
+	Kind DecisionKind
+	Core int // DecRun, DecPreempt
+}
+
+// String renders the compact schedule token: R<core>, P<core>, or B.
+func (d Decision) String() string {
+	switch d.Kind {
+	case DecRun:
+		return "R" + strconv.Itoa(d.Core)
+	case DecPreempt:
+		return "P" + strconv.Itoa(d.Core)
+	case DecBounce:
+		return "B"
+	default:
+		panic("explore: unknown decision kind")
+	}
+}
+
+// FormatSchedule serializes a decision sequence as a dot-joined compact
+// string — the replayable counterexample format.
+func FormatSchedule(ds []Decision) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseSchedule parses FormatSchedule's output.
+func ParseSchedule(s string) ([]Decision, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	out := make([]Decision, 0, len(parts))
+	for i, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("explore: empty schedule token at %d", i)
+		}
+		switch p[0] {
+		case 'B':
+			if p != "B" {
+				return nil, fmt.Errorf("explore: bad bounce token %q", p)
+			}
+			out = append(out, Decision{Kind: DecBounce})
+		case 'R', 'P':
+			n, err := strconv.Atoi(p[1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("explore: bad schedule token %q", p)
+			}
+			k := DecRun
+			if p[0] == 'P' {
+				k = DecPreempt
+			}
+			out = append(out, Decision{Kind: k, Core: n})
+		default:
+			return nil, fmt.Errorf("explore: bad schedule token %q", p)
+		}
+	}
+	return out, nil
+}

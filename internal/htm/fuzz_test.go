@@ -1,0 +1,80 @@
+package htm
+
+import (
+	"testing"
+
+	"tokentm/internal/mem"
+)
+
+// FuzzTokenSet drives a TokenSet through an arbitrary Add/Get/Reset stream
+// (decoded from the fuzz input) against a plain map model, checking after
+// every operation that the sorted block list, the counts, and the Visit walk
+// all agree with the model — the determinism contract the release walks in
+// commit/abort rest on.
+func FuzzTokenSet(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x05, 0x01}) // add one token on block 5
+	f.Add([]byte{
+		0x00, 0x09, 0x02, // add 2 on block 9
+		0x00, 0x03, 0x01, // add 1 on block 3 (inserts before 9)
+		0x00, 0x09, 0x00, // add 0 on touched block (kept)
+		0x06, 0x03, 0x00, // get block 3
+		0x07, 0x00, 0x00, // reset
+		0x00, 0x03, 0x04, // add again after reset
+	})
+	f.Add([]byte{0x00, 0x0f, 0x00}) // add 0 on untouched block: must not join
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s TokenSet
+		model := make(map[mem.BlockAddr]uint32)
+		for len(data) >= 3 {
+			op, blk, n := data[0]%8, mem.BlockAddr(data[1]%16), uint32(data[2]%4)
+			data = data[3:]
+			switch op {
+			case 6: // Get
+				if got := s.Get(blk); got != model[blk] {
+					t.Fatalf("Get(%v) = %d, model %d", blk, got, model[blk])
+				}
+			case 7: // Reset
+				s.Reset()
+				model = make(map[mem.BlockAddr]uint32)
+			default: // Add
+				s.Add(blk, n)
+				if _, touched := model[blk]; touched || n > 0 {
+					model[blk] += n
+				}
+			}
+			checkTokenSet(t, &s, model)
+		}
+	})
+}
+
+// checkTokenSet verifies every TokenSet invariant against the model.
+func checkTokenSet(t *testing.T, s *TokenSet, model map[mem.BlockAddr]uint32) {
+	t.Helper()
+	blocks := s.Blocks()
+	if len(blocks) != len(model) || s.Len() != len(model) {
+		t.Fatalf("%d blocks (Len %d), model has %d", len(blocks), s.Len(), len(model))
+	}
+	for i, b := range blocks {
+		if i > 0 && blocks[i-1] >= b {
+			t.Fatalf("block list not strictly ascending: %v", blocks)
+		}
+		want, ok := model[b]
+		if !ok {
+			t.Fatalf("block %v not in model", b)
+		}
+		if got := s.Get(b); got != want {
+			t.Fatalf("Get(%v) = %d, model %d", b, got, want)
+		}
+	}
+	i := 0
+	s.Visit(func(b mem.BlockAddr, tokens uint32) {
+		if b != blocks[i] || tokens != model[b] {
+			t.Fatalf("Visit[%d] = (%v,%d), want (%v,%d)", i, b, tokens, blocks[i], model[b])
+		}
+		i++
+	})
+	if i != len(blocks) {
+		t.Fatalf("Visit covered %d of %d blocks", i, len(blocks))
+	}
+}

@@ -17,6 +17,7 @@ var simPackages = []string{
 	"internal/coherence",
 	"internal/core",
 	"internal/eccmeta",
+	"internal/explore",
 	"internal/htm",
 	"internal/interconnect",
 	"internal/lcs",
@@ -24,6 +25,7 @@ var simPackages = []string{
 	"internal/mem",
 	"internal/metastate",
 	"internal/sim",
+	"internal/statehash",
 	"internal/tmlog",
 }
 

@@ -1,0 +1,23 @@
+package mem
+
+import (
+	"sort"
+
+	"tokentm/internal/statehash"
+)
+
+// FingerprintTo mixes the store's content in ascending address order.
+// StoreWord deletes zero words, so presence is canonical and two stores with
+// equal readable content always hash equal.
+func (s *Store) FingerprintTo(h *statehash.Hash) {
+	addrs := make([]Addr, 0, len(s.words))
+	for a := range s.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h.Int(len(addrs))
+	for _, a := range addrs {
+		h.U64(uint64(a))
+		h.U64(s.words[a])
+	}
+}

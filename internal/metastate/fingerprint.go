@@ -1,0 +1,50 @@
+package metastate
+
+import (
+	"sort"
+
+	"tokentm/internal/mem"
+	"tokentm/internal/statehash"
+)
+
+// FingerprintTo mixes the logical (Sum, TID) summary.
+func (m Meta) FingerprintTo(h *statehash.Hash) {
+	h.U32(m.Sum)
+	h.U16(uint16(m.TID))
+}
+
+// FingerprintTo mixes the five metabit columns and the attribute field.
+func (l L1Meta) FingerprintTo(h *statehash.Hash) {
+	var bits uint64
+	if l.R {
+		bits |= 1
+	}
+	if l.W {
+		bits |= 2
+	}
+	if l.Rp {
+		bits |= 4
+	}
+	if l.Wp {
+		bits |= 8
+	}
+	if l.RPlus {
+		bits |= 16
+	}
+	h.U64(bits)
+	h.U16(l.Attr)
+}
+
+// FingerprintTo mixes the overflow counts in ascending block order.
+func (t *OverflowTable) FingerprintTo(h *statehash.Hash) {
+	blocks := make([]mem.BlockAddr, 0, len(t.counts))
+	for b := range t.counts {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	h.Int(len(blocks))
+	for _, b := range blocks {
+		h.U64(uint64(b))
+		h.U32(t.counts[b])
+	}
+}

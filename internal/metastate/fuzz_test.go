@@ -1,0 +1,56 @@
+package metastate
+
+import (
+	"testing"
+
+	"tokentm/internal/mem"
+)
+
+// FuzzPackRoundTrip checks the Table 4a metabit packing against arbitrary
+// (Sum, TID) summaries: every valid metastate survives PackInto/Unpack
+// exactly, the overflow escape engages precisely when the anonymous count
+// exceeds the 14-bit field, and re-packing a representable state cleans up
+// the software table entry.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint16(0))          // (0,-)
+	f.Add(uint32(1), uint16(0))          // (1,-) anonymous single reader
+	f.Add(uint32(1), uint16(7))          // (1,X7)
+	f.Add(T, uint16(3))                  // (T,X3)
+	f.Add(uint32(5), uint16(0))          // (u=5,-)
+	f.Add(uint32(attrMask), uint16(0))   // largest in-field count
+	f.Add(uint32(attrMask+1), uint16(0)) // first overflowed count
+	f.Add(T-1, uint16(0))                // largest overflowed count
+	f.Fuzz(func(t *testing.T, sum uint32, tid uint16) {
+		m := Meta{Sum: sum, TID: mem.TID(tid)}
+		if !m.Valid() || uint16(m.TID) > attrMask {
+			// Invalid summaries and TIDs beyond the 14-bit attribute field
+			// are unrepresentable by construction; the protocol never
+			// produces them (Valid is checked at every fuse/fission).
+			return
+		}
+		b := mem.BlockAddr(0x40)
+		tbl := NewOverflowTable()
+		p := tbl.PackInto(b, m)
+		if wantOver := m.Sum > maxPackedCount && !m.IsWriter(); p.IsOverflow() != wantOver {
+			t.Fatalf("%v: overflow encoding %v, want %v", m, p.IsOverflow(), wantOver)
+		}
+		if p.IsOverflow() != (tbl.Len() > 0) {
+			t.Fatalf("%v: overflow bit %v but table has %d entries", m, p.IsOverflow(), tbl.Len())
+		}
+		got, err := Unpack(p, tbl, b)
+		if err != nil {
+			t.Fatalf("%v: unpack: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: %v -> %#04x -> %v", m, uint16(p), got)
+		}
+		// Re-packing a small state over an overflowed one must retire the
+		// software entry (the LimitLESS escape is transient).
+		if p.IsOverflow() {
+			p2 := tbl.PackInto(b, Read1(1))
+			if p2.IsOverflow() || tbl.Len() != 0 {
+				t.Fatalf("stale overflow entry after repack: %v, %d entries", p2, tbl.Len())
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ func TestAllocFreeAnnotations(t *testing.T) {
 	m := New(Config{Cores: 2})
 	// A bare Ctx rig: charge only needs the thread's machine and core.
 	tc := &Ctx{th: &Thread{m: m, core: m.cores[0]}}
+	pickChoices := []CoreChoice{{Core: 0, ReadyAt: 9}, {Core: 1, ReadyAt: 3}}
 
 	entries := []struct {
 		name string
@@ -38,6 +39,11 @@ func TestAllocFreeAnnotations(t *testing.T) {
 			tc.charge(attr.Useful, 3)
 			tc.charge(attr.Commit, 1) // not in-attempt: direct even with a frame
 			tc.pend = nil
+		}},
+		{"MinTimePicker.Pick", func() {
+			if got := (MinTimePicker{}).Pick(pickChoices); got != 1 {
+				panic("MinTimePicker picked the wrong core")
+			}
 		}},
 	}
 

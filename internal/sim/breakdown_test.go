@@ -125,10 +125,19 @@ func TestDeadlockReport(t *testing.T) {
 		if r == nil {
 			t.Fatal("deadlocked machine did not panic")
 		}
-		msg, ok := r.(string)
+		err, ok := r.(*DeadlockError)
 		if !ok {
-			t.Fatalf("panic value %#v, want string", r)
+			t.Fatalf("panic value %#v, want *DeadlockError", r)
 		}
+		if len(err.Threads) != 2 {
+			t.Fatalf("deadlock report has %d threads, want 2", len(err.Threads))
+		}
+		for i, tr := range err.Threads {
+			if tr.Thread != i || tr.State != "waiting-lock" || tr.Timed {
+				t.Errorf("thread report %d = %+v, want thread %d waiting-lock untimed", i, tr, i)
+			}
+		}
+		msg := err.Error()
 		for _, want := range []string{"deadlock", "thread0(", "thread1(", "state=waiting-lock"} {
 			if !strings.Contains(msg, want) {
 				t.Errorf("deadlock message %q missing %q", msg, want)

@@ -1,0 +1,50 @@
+package sim
+
+import "tokentm/internal/mem"
+
+// CoreChoice is one schedulable core: the core id and the cycle at which it
+// could next run a thread (its clock, or the earliest ready/wake time of a
+// queued thread if the core is currently idle).
+type CoreChoice struct {
+	Core    int
+	ReadyAt mem.Cycle
+}
+
+// Picker chooses which runnable core the scheduler steps next. Run calls
+// Pick once per thread turn with the non-empty RunnableCores slice (ascending
+// core id) and steps the returned core, which must be one of the choices.
+//
+// The default MinTimePicker reproduces the simulator's historical min-time
+// schedule; the schedule explorer (internal/explore) substitutes pickers that
+// enumerate or randomize the choice to search the interleaving space.
+type Picker interface {
+	Pick(choices []CoreChoice) int
+}
+
+// MinTimePicker is the default policy: the core with the smallest ready time,
+// ties broken by the lower core id. This yields the deterministic, causally
+// consistent interleaving documented in the package comment.
+type MinTimePicker struct{}
+
+// Pick returns the earliest-ready core. Choices arrive in ascending core-id
+// order, so strict less-than comparison implements the lower-id tie-break.
+//
+//tokentm:allocfree
+func (MinTimePicker) Pick(choices []CoreChoice) int {
+	best := choices[0]
+	for _, c := range choices[1:] {
+		if c.ReadyAt < best.ReadyAt {
+			best = c
+		}
+	}
+	return best.Core
+}
+
+// SetPicker replaces the scheduling policy. Call before Run; passing nil
+// restores the default min-time policy.
+func (m *Machine) SetPicker(p Picker) {
+	if p == nil {
+		p = MinTimePicker{}
+	}
+	m.picker = p
+}

@@ -92,6 +92,7 @@ type opResult struct {
 	unlock   int
 	doUnlock bool
 	finished bool
+	crash    any // non-nil: the thread body panicked with this value
 }
 
 // Thread is one simulated software thread.
@@ -144,6 +145,16 @@ type Machine struct {
 	locks   map[int]*lockState
 	rng     *rand.Rand
 	live    int
+	killed  bool
+	// rngDraws counts backoff-jitter draws; part of the state fingerprint so
+	// two schedules that consumed the rng differently never merge.
+	rngDraws uint64
+	// picker chooses which runnable core steps next (see picker.go); the
+	// default min-time picker reproduces the historical schedule exactly.
+	picker Picker
+	// choiceScratch backs RunnableCores so the scheduler loop stays
+	// allocation-free after the first iteration.
+	choiceScratch []CoreChoice
 	// Commits aggregates all threads' commit records in commit order.
 	Commits []htm.CommitRecord
 	// AbortRecs aggregates all threads' abort records in abort order.
@@ -164,12 +175,14 @@ func New(cfg Config) *Machine {
 		cfg.RetryLimit = 64
 	}
 	m := &Machine{
-		cfg:   cfg,
-		Mem:   coherence.NewMemSys(cfg.Cores),
-		Store: mem.NewStore(),
-		locks: make(map[int]*lockState),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		Mem:    coherence.NewMemSys(cfg.Cores),
+		Store:  mem.NewStore(),
+		locks:  make(map[int]*lockState),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		picker: MinTimePicker{},
 	}
+	m.choiceScratch = make([]CoreChoice, 0, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &coreState{id: i})
 	}
@@ -258,8 +271,27 @@ func (m *Machine) CoreTimes() []mem.Cycle {
 	return out
 }
 
+// killSignal unwinds a thread goroutine that was woken only to die (Kill).
+type killSignal struct{}
+
 func (th *Thread) run() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(killSignal); ok {
+			return // Kill: exit without reporting a turn
+		}
+		// A panic escaped the thread body (protocol invariant failure,
+		// user-code bug). Forward it to the scheduler goroutine, which
+		// re-panics it there — recoverable by whoever called Run.
+		th.res <- opResult{finished: true, crash: r}
+	}()
 	<-th.grant
+	if th.m.killed {
+		return
+	}
 	tc := &Ctx{th: th}
 	th.fn(tc)
 	if tc.xactDepth != 0 {
@@ -273,6 +305,9 @@ func (th *Thread) yield(r opResult) {
 	th.res <- r
 	if !r.finished {
 		<-th.grant
+		if th.m.killed {
+			panic(killSignal{})
+		}
 	}
 }
 
@@ -283,17 +318,11 @@ func (m *Machine) Run() mem.Cycle {
 		panic("sim: SetHTM before Run")
 	}
 	for m.live > 0 {
-		c := m.pickCore()
-		if c == nil {
+		choices := m.RunnableCores()
+		if len(choices) == 0 {
 			m.deadlock()
 		}
-		m.dispatch(c)
-		th := c.cur
-		th.state = tsRunning
-		th.grant <- struct{}{}
-		r := <-th.res
-		c.time += r.lat
-		m.settle(c, th, r)
+		m.StepOn(m.picker.Pick(choices))
 	}
 	var makespan mem.Cycle
 	for _, c := range m.cores {
@@ -304,29 +333,94 @@ func (m *Machine) Run() mem.Cycle {
 	return makespan
 }
 
-// pickCore returns the schedulable core with the smallest effective time.
-func (m *Machine) pickCore() *coreState {
-	var best *coreState
-	var bestTime mem.Cycle
+// RunnableCores reports, in ascending core-id order, every core that can
+// step (has a current, queued, or timed-blocked thread) and the cycle at
+// which it could do so. The returned slice is scratch storage reused across
+// calls — copy it before the next scheduler action if it must persist.
+func (m *Machine) RunnableCores() []CoreChoice {
+	m.choiceScratch = m.choiceScratch[:0]
 	for _, c := range m.cores {
 		t, ok := m.coreReadyTime(c)
 		if !ok {
 			continue
 		}
-		if best == nil || t < bestTime || (t == bestTime && c.id < best.id) {
-			best = c
-			bestTime = t
-		}
+		m.choiceScratch = append(m.choiceScratch, CoreChoice{Core: c.id, ReadyAt: t})
 	}
-	if best != nil {
-		// Idle cores fast-forward to their next event; the gap is scheduler
-		// wait (no runnable thread), charged as barrier time.
-		if best.time < bestTime {
-			m.charge(best.id, attr.Barrier, bestTime-best.time)
-			best.time = bestTime
-		}
+	return m.choiceScratch
+}
+
+// StepOn advances the machine by one thread turn on the given core: the core
+// fast-forwards to its ready time (charged as barrier/scheduler wait),
+// dispatches a thread, and executes that thread's next timed operation. The
+// core must be runnable (present in RunnableCores); stepping an idle core
+// panics.
+func (m *Machine) StepOn(core int) {
+	c := m.cores[core]
+	t, ok := m.coreReadyTime(c)
+	if !ok {
+		panic(fmt.Sprintf("sim: StepOn(%d): core has nothing to run", core))
 	}
-	return best
+	// Idle cores fast-forward to their next event; the gap is scheduler
+	// wait (no runnable thread), charged as barrier time.
+	if c.time < t {
+		m.charge(c.id, attr.Barrier, t-c.time)
+		c.time = t
+	}
+	m.dispatch(c)
+	th := c.cur
+	th.state = tsRunning
+	th.grant <- struct{}{}
+	r := <-th.res
+	c.time += r.lat
+	m.settle(c, th, r)
+}
+
+// Live returns how many spawned threads have not yet finished.
+func (m *Machine) Live() int { return m.live }
+
+// CanPreempt reports whether Preempt(core) would change the schedule: the
+// core is running a thread and another thread is queued to take its place.
+func (m *Machine) CanPreempt(core int) bool {
+	c := m.cores[core]
+	return c.cur != nil && len(c.runq) > 0
+}
+
+// Preempt forces an involuntary context switch on core, exactly as a quantum
+// expiry would: the current thread moves to the back of the run queue and the
+// next StepOn on this core dispatches its successor (charging the HTM's
+// context-switch work — for TokenTM, the flash-OR of the metastate bits).
+// Returns false, changing nothing, when the core has no current thread or no
+// waiting successor.
+func (m *Machine) Preempt(core int) bool {
+	if !m.CanPreempt(core) {
+		return false
+	}
+	c := m.cores[core]
+	out := c.cur
+	out.state = tsRunnable
+	out.readyAt = c.time
+	c.runq = append(c.runq, out)
+	c.cur = nil
+	return true
+}
+
+// Kill terminates every unfinished thread goroutine so an abandoned machine
+// leaks nothing. It must only be called while the machine is quiescent — no
+// thread holds the turn, i.e. between StepOn calls or after Run panicked on
+// the scheduler goroutine. The machine cannot step again afterwards.
+func (m *Machine) Kill() {
+	if m.killed {
+		return
+	}
+	m.killed = true
+	for _, th := range m.threads {
+		if th.state == tsFinished {
+			continue
+		}
+		th.state = tsFinished
+		m.live--
+		th.grant <- struct{}{}
+	}
 }
 
 // coreReadyTime computes when core c can next run something.
@@ -447,6 +541,15 @@ func (m *Machine) dispatch(c *coreState) {
 
 // settle applies a thread's op result to scheduler state.
 func (m *Machine) settle(c *coreState, th *Thread, r opResult) {
+	if r.crash != nil {
+		// The thread body panicked; its goroutine has exited. Re-panic on
+		// the scheduler goroutine after bookkeeping, so callers of Run can
+		// recover and the machine can still be Kill()ed cleanly.
+		th.state = tsFinished
+		c.cur = nil
+		m.live--
+		panic(r.crash)
+	}
 	if r.finished {
 		th.state = tsFinished
 		c.cur = nil
@@ -489,7 +592,7 @@ func (m *Machine) lock(id int) *lockState {
 func (m *Machine) doUnlock(c *coreState, th *Thread, id int) {
 	l := m.lock(id)
 	if !l.held || l.holder != th {
-		panic(fmt.Sprintf("sim: thread %d unlocks lock %d it does not hold", th.H.ID, id))
+		panic(&UnlockError{Thread: th.H.ID, Lock: id})
 	}
 	if len(l.waiters) == 0 {
 		l.held = false
@@ -512,19 +615,69 @@ func (m *Machine) doUnlock(c *coreState, th *Thread, id int) {
 	nc.runq = append(nc.runq, next)
 }
 
-func (m *Machine) deadlock() {
+// ThreadReport is one live thread's symbolic scheduler state at deadlock.
+type ThreadReport struct {
+	Thread int       // global thread id
+	Core   int       // core the thread is pinned to
+	State  string    // symbolic scheduler state (threadState.String)
+	Timed  bool      // true when the thread is time-blocked (WakeAt valid)
+	WakeAt mem.Cycle // wake deadline, when Timed
+}
+
+// DeadlockError reports that no core can make progress. It carries the
+// symbolic per-thread state so tools (the schedule explorer, test failures)
+// can record it as a structured counterexample; the scheduler still panics
+// with it, so existing callers keep failing loudly.
+type DeadlockError struct {
+	Threads []ThreadReport
+}
+
+// Error renders the historical report format: one parenthesized entry per
+// live thread with its core, state name and (for timed blocks) wake cycle.
+func (e *DeadlockError) Error() string {
 	detail := ""
+	for _, r := range e.Threads {
+		detail += fmt.Sprintf(" thread%d(core=%d state=%s", r.Thread, r.Core, r.State)
+		if r.Timed {
+			detail += fmt.Sprintf(" wakeAt=%d", r.WakeAt)
+		}
+		detail += ")"
+	}
+	return "sim: deadlock —" + detail
+}
+
+// UnlockError reports a thread releasing a lock it does not hold.
+type UnlockError struct {
+	Thread int
+	Lock   int
+}
+
+func (e *UnlockError) Error() string {
+	return fmt.Sprintf("sim: thread %d unlocks lock %d it does not hold", e.Thread, e.Lock)
+}
+
+// DeadlockReport builds the typed per-thread report for the machine's
+// current unfinished threads. The scheduler panics with it when no core can
+// make progress; the schedule explorer calls it directly to record a
+// deadlock as a structured counterexample without unwinding.
+func (m *Machine) DeadlockReport() *DeadlockError {
+	err := &DeadlockError{}
 	for _, th := range m.threads {
 		if th.state == tsFinished {
 			continue
 		}
-		detail += fmt.Sprintf(" thread%d(core=%d state=%s", th.H.ID, th.core.id, th.state)
+		r := ThreadReport{Thread: th.H.ID, Core: th.core.id, State: th.state.String()}
 		if th.state == tsBlockedTime {
-			detail += fmt.Sprintf(" wakeAt=%d", th.wakeAt)
+			r.Timed = true
+			r.WakeAt = th.wakeAt
 		}
-		detail += ")"
+		err.Threads = append(err.Threads, r)
 	}
-	panic("sim: deadlock —" + detail)
+	return err
+}
+
+func (m *Machine) deadlock() {
+	panic(m.DeadlockReport())
 }
 
 // backoff computes conflict-stall backoff with bounded exponential growth
@@ -534,6 +687,7 @@ func (m *Machine) backoff(retries int) mem.Cycle {
 		retries = 6
 	}
 	base := mem.Cycle(32) << uint(retries)
+	m.rngDraws++
 	return base + mem.Cycle(m.rng.Intn(int(base)))
 }
 
@@ -547,6 +701,7 @@ func (m *Machine) abortBackoff(attempt int) mem.Cycle {
 		attempt = 8
 	}
 	base := mem.Cycle(128) << uint(attempt)
+	m.rngDraws++
 	return base + mem.Cycle(m.rng.Intn(int(base)))
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"tokentm/internal/htm"
 	"tokentm/internal/mem"
+	"tokentm/internal/statehash"
 )
 
 // Kind classifies trace events.
@@ -239,6 +240,14 @@ func Wrap(sys htm.System, tr *Tracer) *System {
 
 // Name returns the wrapped variant's name.
 func (s *System) Name() string { return s.inner.Name() }
+
+// FingerprintTo forwards to the wrapped system when it participates in
+// machine fingerprinting, so tracing a machine never changes its state hash.
+func (s *System) FingerprintTo(h *statehash.Hash) {
+	if f, ok := s.inner.(htm.Fingerprinter); ok {
+		f.FingerprintTo(h)
+	}
+}
 
 // Stats exposes the wrapped variant's metrics.
 func (s *System) Stats() *htm.Metrics { return s.inner.Stats() }

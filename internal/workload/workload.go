@@ -14,6 +14,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"tokentm/internal/mem"
 	"tokentm/internal/sim"
@@ -129,14 +130,22 @@ func Names() []string {
 	return names
 }
 
+// byName is the lazily built name -> Spec index behind ByName, so the
+// harness's per-job lookups don't rebuild the spec list each time.
+var byName map[string]Spec
+var byNameOnce sync.Once
+
 // ByName returns the spec with the given name.
 func ByName(name string) (Spec, bool) {
-	for _, s := range Specs() {
-		if s.Name == name {
-			return s, true
+	byNameOnce.Do(func() {
+		specs := Specs()
+		byName = make(map[string]Spec, len(specs))
+		for _, s := range specs {
+			byName[s.Name] = s
 		}
-	}
-	return Spec{}, false
+	})
+	s, ok := byName[name]
+	return s, ok
 }
 
 // setSizer draws read/write-set sizes matching a target mean and max: a

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"tokentm/internal/core"
@@ -120,12 +121,23 @@ func TestNamesMatchSpecs(t *testing.T) {
 	if len(names) != len(specs) {
 		t.Fatalf("%d names for %d specs", len(names), len(specs))
 	}
+	seen := make(map[string]bool, len(names))
 	for i, s := range specs {
 		if names[i] != s.Name {
 			t.Fatalf("names[%d]=%q, spec %q", i, names[i], s.Name)
 		}
-		if _, ok := ByName(names[i]); !ok {
+		if seen[s.Name] {
+			t.Fatalf("duplicate workload name %q — ByName's index would drop one", s.Name)
+		}
+		seen[s.Name] = true
+		// The lazily built index must serve the exact spec, not a stale or
+		// partial copy.
+		got, ok := ByName(names[i])
+		if !ok {
 			t.Fatalf("ByName misses %q", names[i])
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("ByName(%q) = %+v, Specs()[%d] = %+v", names[i], got, i, s)
 		}
 	}
 }
