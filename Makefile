@@ -10,7 +10,12 @@ BENCH_SCALE ?= 0.02
 BENCH_SEEDS ?= 3
 BENCH_PARALLEL ?= 0
 
-.PHONY: verify lint race bench breakdown explore microbench profile clean-cache
+# Host STM benchmark grid parameters (make stmbench): transactions per
+# cell and interleaved repetitions per cell (best-of, see cmd/tokentm-store).
+STM_OPS ?= 60000
+STM_REPS ?= 9
+
+.PHONY: verify lint race bench breakdown explore microbench profile stmbench clean-cache
 
 verify:
 	$(GO) build ./...
@@ -29,9 +34,10 @@ lint:
 	$(GO) run ./cmd/tokentm-lint ./...
 
 # Race-enabled proof that parallel sweeps share no mutable state between
-# simulated machines (harness worker pool + scheduler contract).
+# simulated machines (harness worker pool + scheduler contract), plus the
+# host STM stress + serializability suite (stm/...).
 race:
-	$(GO) test -race ./internal/harness ./internal/sim
+	$(GO) test -race ./internal/harness ./internal/sim ./stm/...
 
 bench:
 	$(GO) run ./cmd/experiments -run verify,fig1,fig5 \
@@ -67,6 +73,18 @@ profile:
 	$(GO) test -run '^$$' -bench 'BenchmarkCommit/software' -benchtime 2s \
 		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/core
 	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
+
+# Host STM benchmark grid: every kvstore backend x mix x worker count on
+# real goroutines, via the stm/loadgen zipfian driver. BENCH_stm.json holds
+# the grid (schema tokentm-stm/v1); BENCH_stm.txt is benchstat-comparable.
+# Reps interleave backends round-robin and keep each cell's best rep, so
+# shared noise epochs cancel out of cross-backend ratios (see
+# cmd/tokentm-store). `-check` validates schema, grid coverage and the
+# workers=1 determinism contract of a recorded report.
+stmbench:
+	$(GO) run ./cmd/tokentm-store -bench -ops $(STM_OPS) -reps $(STM_REPS) \
+		-json BENCH_stm.json -text BENCH_stm.txt
+	$(GO) run ./cmd/tokentm-store -check BENCH_stm.json
 
 clean-cache:
 	rm -rf .expcache

@@ -40,3 +40,10 @@ func TestDirectives(t *testing.T) {
 func TestHostSideOutOfScope(t *testing.T) {
 	linttest.Run(t, "testdata/src/tokentm/internal/harness/hostside", lint.Analyzers()...)
 }
+
+// TestSTMHostSideExempt pins the explicit exemption for the stm subsystem:
+// stm/... is host-side by charter (wall-clock latency measurement), so the
+// full analyzer suite reports nothing for it.
+func TestSTMHostSideExempt(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/stm/hostside", lint.Analyzers()...)
+}

@@ -36,6 +36,19 @@ var orderedOutputPackages = []string{
 	"internal/trace",
 }
 
+// hostSidePackages are host-concurrent packages that measure real time by
+// charter: the stm subsystem runs on actual goroutines and its load
+// generator reads time.Now for throughput and latency. They are exempt
+// from the simulation contracts *explicitly* — listed here rather than
+// relying on "not in simPackages" — so the exemption survives refactors of
+// the scope logic and is pinned by fixture tests. Note stm imports
+// internal/metastate, which stays fully in scope: the packing helpers it
+// reuses are wall-clock-free by this very gate.
+var hostSidePackages = []string{
+	"stm",
+	"cmd",
+}
+
 // pkgKey reduces an import path to its module-relative form: the suffix
 // starting at "internal/". Paths without an internal/ element (the root
 // package, cmd/...) are out of every scope.
@@ -60,6 +73,38 @@ func inList(path string, list []string) bool {
 		return false
 	}
 	for _, p := range list {
+		if key == p || strings.HasPrefix(key, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hostKey reduces an import path to its module-relative form for the
+// host-side roots (stm/..., cmd/...), the counterpart of pkgKey.
+func hostKey(path string) string {
+	for _, root := range hostSidePackages {
+		if path == root || strings.HasPrefix(path, root+"/") {
+			return path
+		}
+		if strings.HasSuffix(path, "/"+root) {
+			return root
+		}
+		if i := strings.Index(path, "/"+root+"/"); i >= 0 {
+			return path[i+1:]
+		}
+	}
+	return ""
+}
+
+// isHostSidePackage reports whether path is host-side by charter and thus
+// explicitly exempt from the wallclock contract.
+func isHostSidePackage(path string) bool {
+	key := hostKey(path)
+	if key == "" {
+		return false
+	}
+	for _, p := range hostSidePackages {
 		if key == p || strings.HasPrefix(key, p+"/") {
 			return true
 		}

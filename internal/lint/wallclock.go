@@ -12,8 +12,9 @@ import (
 // arithmetic, and the only sanctioned randomness is a seeded
 // rand.New(rand.NewSource(seed)) instance owned by the machine — anything
 // else lets host timing or process-global state leak into simulated
-// observables. Host-side packages (cmd/, internal/harness, internal/trace)
-// and _test.go files are out of scope by construction.
+// observables. Host-side packages (cmd/, stm/..., internal/harness,
+// internal/trace) and _test.go files are out of scope: the explicitly
+// exempt hostSidePackages first, then everything outside simPackages.
 var WallClock = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc:  "forbid wall-clock and global math/rand use in simulation packages",
@@ -38,6 +39,12 @@ var allowedRandFuncs = map[string]bool{
 }
 
 func runWallClock(pass *analysis.Pass) error {
+	// Host-side packages (stm/..., cmd/...) read the wall clock by
+	// charter — throughput and latency measurement — and are exempt
+	// explicitly, not just by falling outside simPackages.
+	if isHostSidePackage(pass.Pkg.Path()) {
+		return nil
+	}
 	if !isSimPackage(pass.Pkg.Path()) {
 		return nil
 	}

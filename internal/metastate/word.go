@@ -1,0 +1,49 @@
+package metastate
+
+// PackedWord is the host-side view of a block's packed metastate: the 16
+// Table-4a metabits widened to a 64-bit word so real goroutines can update
+// them with sync/atomic compare-and-swap. The simulator keeps using the bare
+// 16-bit Packed form (the hardware stores exactly 16 metabits per block);
+// the host STM in stm/ stores one PackedWord per block instead, because
+// 64-bit words are the natural unit of Go's atomics.
+//
+// Layout:
+//
+//	bits 63..16  stamp  — commit serial of the last writer to release this
+//	             block (monotone per block; 0 = never written)
+//	bits 15..0   Packed — the Table-4a metabits, unchanged
+//
+// The stamp is what enables the host STM's snapshot mode for read-only
+// transactions: a reader that drew read-serial rv accepts a block iff its
+// metabits show no writer and its stamp is at most rv, re-reading the word
+// after the data load for seqlock-style stability. Token transitions that
+// do not publish data — read acquires, fusion, read releases — preserve the
+// stamp (With); only a writer's release installs a new one (MakeWord with a
+// fresh serial). Data words change only between a write acquire and the
+// matching release, and both release paths stamp a fresh serial, so a
+// stable word with no writer bits proves the data words were stable too.
+type PackedWord uint64
+
+// packedWordShift is the bit offset of the stamp field.
+const packedWordShift = 16
+
+// MakeWord assembles a PackedWord from metabits and a stamp. Writer
+// releases use it to publish their commit (or abort) serial.
+func MakeWord(p Packed, stamp uint64) PackedWord {
+	return PackedWord(stamp<<packedWordShift | uint64(p))
+}
+
+// Packed extracts the 16 Table-4a metabits.
+func (w PackedWord) Packed() Packed { return Packed(w) }
+
+// Stamp extracts the 48-bit writer-release serial.
+func (w PackedWord) Stamp() uint64 { return uint64(w) >> packedWordShift }
+
+// With returns w carrying new metabits and the same stamp — the value to
+// CAS in for transitions that do not publish data (read acquires, fusion,
+// read releases). Keeping the stamp is load-bearing: if read traffic bumped
+// it, hot read-shared blocks would run ahead of the serial clock and starve
+// snapshot readers.
+func (w PackedWord) With(p Packed) PackedWord {
+	return MakeWord(p, w.Stamp())
+}

@@ -1,0 +1,145 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// rwStore is the coarse-locking baseline: one sync.RWMutex around a plain Go
+// map. Read-only transactions share the read lock; anything that writes
+// takes the whole store exclusively — the serialization bottleneck TM is
+// meant to remove. Writes are buffered and applied on success so a non-nil
+// error from fn rolls back for free; there are no conflict aborts.
+type rwStore struct {
+	mu      sync.RWMutex
+	m       map[uint64]uint64
+	serial  atomic.Uint64
+	commits atomic.Uint64
+}
+
+// NewRWMutex builds the coarse-locking baseline store.
+func NewRWMutex() Store {
+	return &rwStore{m: make(map[uint64]uint64)}
+}
+
+func (s *rwStore) Name() string { return "rwmutex" }
+
+func (s *rwStore) Handle(worker int) Handle {
+	h := &rwHandle{}
+	h.tx.st = s
+	return h
+}
+
+func (s *rwStore) ForEach(fn func(key, val uint64)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.m {
+		fn(k, v)
+	}
+}
+
+func (s *rwStore) Stats() Stats {
+	return Stats{Commits: s.commits.Load()}
+}
+
+type rwHandle struct {
+	tx rwTx
+}
+
+func (h *rwHandle) Txn(readOnly bool, fn func(tx Tx) error) (uint64, error) {
+	h.tx.readOnly = readOnly
+	h.tx.wkeys = h.tx.wkeys[:0]
+	h.tx.wvals = h.tx.wvals[:0]
+	serial, err := h.tx.run(readOnly, fn)
+	if err != nil {
+		return 0, err
+	}
+	h.tx.st.commits.Add(1)
+	return serial, nil
+}
+
+// Get is one map lookup under the read lock. The serial is the current
+// clock value rather than a fresh ticket — a point read serializes after
+// every commit it observed without advancing the order itself.
+func (h *rwHandle) Get(key uint64) (val uint64, ok bool, serial uint64) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	st := h.tx.st
+	st.mu.RLock()
+	val, ok = st.m[key]
+	serial = st.serial.Load()
+	st.mu.RUnlock()
+	st.commits.Add(1)
+	return val, ok, serial
+}
+
+// Put is one map assignment under the exclusive lock.
+func (h *rwHandle) Put(key, val uint64) uint64 {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	st := h.tx.st
+	st.mu.Lock()
+	st.m[key] = val
+	serial := st.serial.Add(1)
+	st.mu.Unlock()
+	st.commits.Add(1)
+	return serial
+}
+
+// run executes fn under the appropriate lock mode; the deferred unlock
+// keeps a panicking fn from wedging the store.
+func (t *rwTx) run(readOnly bool, fn func(tx Tx) error) (uint64, error) {
+	st := t.st
+	if readOnly {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		if err := fn(t); err != nil {
+			return 0, err
+		}
+		return st.serial.Add(1), nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := fn(t); err != nil {
+		return 0, err
+	}
+	for i, k := range t.wkeys {
+		st.m[k] = t.wvals[i]
+	}
+	return st.serial.Add(1), nil
+}
+
+// rwTx buffers writes (applied under the exclusive lock on success) and
+// answers reads from the buffer first for read-your-writes.
+type rwTx struct {
+	st       *rwStore
+	readOnly bool
+	wkeys    []uint64
+	wvals    []uint64
+}
+
+func (t *rwTx) Get(key uint64) (uint64, bool) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	for i := len(t.wkeys) - 1; i >= 0; i-- {
+		if t.wkeys[i] == key {
+			return t.wvals[i], true
+		}
+	}
+	v, ok := t.st.m[key]
+	return v, ok
+}
+
+func (t *rwTx) Put(key, val uint64) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	if t.readOnly {
+		panic("kvstore: Put inside readOnly transaction")
+	}
+	t.wkeys = append(t.wkeys, key)
+	t.wvals = append(t.wvals, val)
+}

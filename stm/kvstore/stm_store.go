@@ -1,0 +1,240 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"tokentm/stm"
+)
+
+// stmStore maps the KV table onto a stm.TM: one linear-probing slot per
+// conflict-detection block, key in word 0 and value in word 1. Independent
+// keys therefore conflict only when their probe paths overlap on a terminal
+// slot — exactly the precise, block-granular conflict detection the token
+// protocol is for.
+//
+// The table is insert-only, so a committed key word is immutable: probing
+// PAST an occupied, non-matching slot is insensitive to serialization order
+// and uses tx.Stable (a validated committed read with no footprint). Only
+// the terminal slot — the match whose value we return or write, or the
+// empty slot that ends the chain — goes through the token (or snapshot)
+// protocol, and the decision is re-made from that protected read. A
+// read-modify-write of a key the transaction already read takes the
+// read-to-write upgrade path, so the load generator's transfer mix
+// exercises the token fold-in continuously.
+type stmStore struct {
+	tm   *stm.TM
+	mask uint64
+}
+
+// NewSTM builds the TokenTM-backend store with the given slot capacity
+// (rounded up to a power of two) for up to workers concurrent handles.
+func NewSTM(capacity, workers int) Store {
+	n := ceilPow2(capacity)
+	return &stmStore{
+		tm:   stm.New(n, 2, workers),
+		mask: uint64(n - 1),
+	}
+}
+
+func (s *stmStore) Name() string { return "stm" }
+
+func (s *stmStore) Handle(worker int) Handle {
+	h := &stmHandle{st: s, th: s.tm.Thread(worker)}
+	h.tx.st = s
+	h.bound = func(itx *stm.Tx) error {
+		h.tx.itx = itx
+		return h.fn(&h.tx)
+	}
+	return h
+}
+
+func (s *stmStore) ForEach(fn func(key, val uint64)) {
+	for slot := uint64(0); slot <= s.mask; slot++ {
+		if k := s.tm.LoadWord(stm.Addr(2 * slot)); k != 0 {
+			fn(k, s.tm.LoadWord(stm.Addr(2*slot+1)))
+		}
+	}
+}
+
+func (s *stmStore) Stats() Stats {
+	st := s.tm.Stats()
+	return Stats{Commits: st.Commits, Aborts: st.Aborts + st.SnapshotRetries}
+}
+
+// STMStats exposes the underlying protocol counters (upgrades, conflict
+// kinds, fast releases) for benchmark reporting. Quiescent-only.
+func (s *stmStore) STMStats() stm.Stats { return s.tm.Stats() }
+
+// stmHandle binds one stm.Thread. The bound closure is built once so the
+// per-transaction path allocates nothing.
+type stmHandle struct {
+	st    *stmStore
+	th    *stm.Thread
+	tx    stmTx
+	fn    func(Tx) error
+	bound func(*stm.Tx) error
+}
+
+func (h *stmHandle) Txn(readOnly bool, fn func(tx Tx) error) (uint64, error) {
+	h.fn = fn
+	h.tx.readOnly = readOnly
+	if readOnly {
+		// Snapshot mode: tokenless validated reads, serialized at the read
+		// serial the attempt drew — the workload's read-mostly fast path.
+		return h.th.ReadOnly(h.bound)
+	}
+	return h.th.Atomically(h.bound)
+}
+
+// Get probes with non-transactional single-block snapshot reads. The table
+// is insert-only, so crossed slots need no validation against each other;
+// the terminal slot's snapshot alone decides the answer, and its
+// writer-release stamp is the serial a one-block read-only transaction
+// committing there would return.
+func (h *stmHandle) Get(key uint64) (val uint64, ok bool, serial uint64) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	st := h.st
+	hh := hashKey(key) & st.mask
+	for i := uint64(0); ; i++ {
+		slot := (hh + i) & st.mask
+		k, v, s := h.th.Snapshot2(stm.Addr(2*slot), stm.Addr(2*slot+1))
+		if k == key {
+			h.th.NoteCommit()
+			return v, true, s
+		}
+		if k == 0 {
+			h.th.NoteCommit()
+			return 0, false, s
+		}
+		if i == st.mask {
+			panic(fmt.Sprintf("kvstore: stm table full probing key %d", key))
+		}
+	}
+}
+
+// Put probes like Get and claims the terminal slot with stm.Thread.Upsert2,
+// a one-block write transaction. The first slot is tried claim-first — at
+// moderate load factors it is usually the terminal one, and Upsert2's own
+// guard read replaces a separate peek; a skipped claim (a different key
+// committed there) just probes on.
+func (h *stmHandle) Put(key, val uint64) uint64 {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	st := h.st
+	hh := hashKey(key) & st.mask
+	for i := uint64(0); ; i++ {
+		slot := (hh + i) & st.mask
+		if i > 0 {
+			// Deeper in the chain a peek is cheaper than a claim: skip
+			// committed foreign keys without touching the metadata word.
+			if k, _, _ := h.th.Snapshot2(stm.Addr(2*slot), stm.Addr(2*slot+1)); k != key && k != 0 {
+				if i == st.mask {
+					panic(fmt.Sprintf("kvstore: stm table full inserting key %d", key))
+				}
+				continue
+			}
+		}
+		if done, serial := h.th.Upsert2(stm.Addr(2*slot), stm.Addr(2*slot+1), key, val); done {
+			return serial
+		}
+		if i == st.mask {
+			panic(fmt.Sprintf("kvstore: stm table full inserting key %d", key))
+		}
+	}
+}
+
+// stmTx adapts a stm.Tx to the KV operation set.
+type stmTx struct {
+	st       *stmStore
+	itx      *stm.Tx
+	readOnly bool
+}
+
+func (t *stmTx) Get(key uint64) (uint64, bool) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	h := hashKey(key) & t.st.mask
+	if t.readOnly {
+		// Snapshot mode is already footprint-free: one stamp validation per
+		// slot covers both words (key and value share the block), so probing
+		// straight through Load2 beats a separate peek + protected read.
+		for i := uint64(0); ; i++ {
+			slot := (h + i) & t.st.mask
+			k, v := t.itx.Load2(stm.Addr(2*slot), stm.Addr(2*slot+1))
+			if k == 0 {
+				return 0, false
+			}
+			if k == key {
+				return v, true
+			}
+			if i == t.st.mask {
+				panic(fmt.Sprintf("kvstore: stm table full probing key %d", key))
+			}
+		}
+	}
+	// Token mode: probe with Stable so crossed slots leave no read tokens,
+	// then bind only the terminal slot.
+	for i := uint64(0); ; i++ {
+		slot := (h + i) & t.st.mask
+		switch t.itx.Stable(stm.Addr(2 * slot)) {
+		case key:
+			// Committed keys are immutable, so the match is final; the value
+			// mutates and needs the real read protocol. One token covers the
+			// slot's block.
+			return t.itx.Load(stm.Addr(2*slot + 1)), true
+		case 0:
+			// Possible end of chain — an order-sensitive observation (an
+			// insert of this key here must conflict with us), so re-make it
+			// through the protected read.
+			switch k, v := t.itx.Load2(stm.Addr(2*slot), stm.Addr(2*slot+1)); k {
+			case 0:
+				return 0, false
+			case key:
+				return v, true
+			}
+			// A different key landed here between peek and protected read:
+			// the chain grew, keep probing.
+		}
+		if i == t.st.mask {
+			panic(fmt.Sprintf("kvstore: stm table full probing key %d", key))
+		}
+	}
+}
+
+func (t *stmTx) Put(key, val uint64) {
+	if key == 0 {
+		panic("kvstore: zero key is reserved")
+	}
+	if t.readOnly {
+		panic("kvstore: Put inside readOnly transaction")
+	}
+	h := hashKey(key) & t.st.mask
+	for i := uint64(0); ; i++ {
+		slot := (h + i) & t.st.mask
+		if k := t.itx.Stable(stm.Addr(2 * slot)); k == key || k == 0 {
+			// Terminal candidate: claim the block's write tokens up front
+			// (one acquisition — or the upgrade fold-in when a Get in this
+			// transaction already read the slot) and re-make the decision
+			// from the protected read.
+			switch kk := t.itx.LoadW(stm.Addr(2 * slot)); kk {
+			case key:
+				t.itx.Store(stm.Addr(2*slot+1), val)
+				return
+			case 0:
+				t.itx.Store(stm.Addr(2*slot), key)
+				t.itx.Store(stm.Addr(2*slot+1), val)
+				return
+			}
+			// A different key claimed the slot between peek and write
+			// acquisition; the (rare) surplus write token is released with
+			// the transaction. Keep probing.
+		}
+		if i == t.st.mask {
+			panic(fmt.Sprintf("kvstore: stm table full inserting key %d", key))
+		}
+	}
+}

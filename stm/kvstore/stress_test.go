@@ -1,0 +1,245 @@
+package kvstore
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// This file is the host-side twin of internal/explore's oracle: run real
+// goroutines against each backend, journal every committed transaction's
+// observed reads and final writes, then replay the journals in commit-serial
+// order against a reference map. Every journaled read must equal the
+// reference at its serialization point, and the store's final state must
+// match the reference — serializability and atomicity, checked end to end.
+// Run under -race this also proves the token/lock protocols publish data
+// with proper happens-before edges.
+
+// jrOp is one journaled KV observation or effect.
+type jrOp struct {
+	key uint64
+	val uint64
+	ok  bool // for reads: present/absent
+}
+
+// jrTxn is one committed transaction's journal entry.
+type jrTxn struct {
+	serial uint64
+	writer bool // drew a write ticket (non-empty write set)
+	reads  []jrOp
+	writes []jrOp
+}
+
+// journalTx wraps a backend Tx, recording reads of keys the transaction has
+// not itself written (later reads of own writes are satisfied by the
+// backend's read-your-writes and say nothing about the serialization point).
+type journalTx struct {
+	inner  Tx
+	reads  []jrOp
+	writes []jrOp
+}
+
+func (j *journalTx) wrote(key uint64) bool {
+	for i := range j.writes {
+		if j.writes[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *journalTx) Get(key uint64) (uint64, bool) {
+	v, ok := j.inner.Get(key)
+	if !j.wrote(key) {
+		j.reads = append(j.reads, jrOp{key: key, val: v, ok: ok})
+	}
+	return v, ok
+}
+
+func (j *journalTx) Put(key, val uint64) {
+	j.inner.Put(key, val)
+	for i := range j.writes {
+		if j.writes[i].key == key {
+			j.writes[i].val = val
+			return
+		}
+	}
+	j.writes = append(j.writes, jrOp{key: key, val: val, ok: true})
+}
+
+// journaledTxn runs fn through h with journaling and appends the committed
+// record to out. The journal resets on every attempt, so only the committed
+// execution survives.
+func journaledTxn(h Handle, readOnly bool, fn func(Tx) error, out *[]jrTxn) error {
+	var j journalTx
+	serial, err := h.Txn(readOnly, func(tx Tx) error {
+		j.inner = tx
+		j.reads = j.reads[:0]
+		j.writes = j.writes[:0]
+		return fn(&j)
+	})
+	if err != nil {
+		return err
+	}
+	rec := jrTxn{serial: serial, writer: len(j.writes) > 0}
+	rec.reads = append(rec.reads, j.reads...)
+	rec.writes = append(rec.writes, j.writes...)
+	*out = append(*out, rec)
+	return nil
+}
+
+// replayJournals merges per-worker journals into serial order and replays
+// them against a reference map. Writers sort before read-only transactions
+// at equal serial: a TL2 read-only transaction's ticket is its read clock,
+// which already includes the writer that advanced the clock to that value.
+func replayJournals(t *testing.T, name string, journals [][]jrTxn) map[uint64]uint64 {
+	t.Helper()
+	var all []jrTxn
+	for _, j := range journals {
+		all = append(all, j...)
+	}
+	sort.SliceStable(all, func(i, k int) bool {
+		if all[i].serial != all[k].serial {
+			return all[i].serial < all[k].serial
+		}
+		return all[i].writer && !all[k].writer
+	})
+	ref := make(map[uint64]uint64)
+	for ti, rec := range all {
+		for _, r := range rec.reads {
+			rv, rok := ref[r.key]
+			if rok != r.ok || rv != r.val {
+				t.Fatalf("%s: serializability violation at commit %d (serial %d): read key %d = (%d,%v), serial replay has (%d,%v)",
+					name, ti, rec.serial, r.key, r.val, r.ok, rv, rok)
+			}
+		}
+		for _, w := range rec.writes {
+			ref[w.key] = w.val
+		}
+	}
+	return ref
+}
+
+// stressWorkload runs one worker's seeded mix: updates, blind inserts,
+// two-key transfers and a periodic multi-key batch, skewed so a fifth of
+// the traffic lands on eight hot keys.
+func stressWorkload(t *testing.T, h Handle, worker, txns int, keyspace uint64, journal *[]jrTxn) {
+	rng := uint64(worker)*0x9e3779b97f4a7c15 + 12345
+	key := func() uint64 {
+		if testRand(&rng)%5 == 0 {
+			return 1 + testRand(&rng)%8 // hot set
+		}
+		return 1 + testRand(&rng)%keyspace
+	}
+	for i := 0; i < txns; i++ {
+		var err error
+		switch op := testRand(&rng) % 100; {
+		case op < 20: // read-only lookup
+			k := key()
+			err = journaledTxn(h, true, func(tx Tx) error {
+				tx.Get(k)
+				return nil
+			}, journal)
+		case op < 35: // point read: the serial it reports must satisfy the
+			// same replay invariant as a full read-only transaction
+			k := key()
+			v, ok, serial := h.Get(k)
+			*journal = append(*journal, jrTxn{serial: serial,
+				reads: []jrOp{{key: k, val: v, ok: ok}}})
+		case op < 50: // point write
+			k, v := key(), testRand(&rng)
+			serial := h.Put(k, v)
+			*journal = append(*journal, jrTxn{serial: serial, writer: true,
+				writes: []jrOp{{key: k, val: v, ok: true}}})
+		case op < 65: // read-modify-write (upgrade path on the stm backend)
+			k := key()
+			err = journaledTxn(h, false, func(tx Tx) error {
+				v, _ := tx.Get(k)
+				tx.Put(k, v+1)
+				return nil
+			}, journal)
+		case op < 90: // two-key transfer
+			a, b := key(), key()
+			if a == b {
+				continue
+			}
+			err = journaledTxn(h, false, func(tx Tx) error {
+				va, _ := tx.Get(a)
+				vb, _ := tx.Get(b)
+				tx.Put(a, va+1)
+				tx.Put(b, vb+1)
+				return nil
+			}, journal)
+		default: // multi-key batch: read 12, write 4
+			base := key()
+			err = journaledTxn(h, false, func(tx Tx) error {
+				var sum uint64
+				for j := uint64(0); j < 12; j++ {
+					v, _ := tx.Get(1 + (base+j-1)%keyspace)
+					sum += v
+				}
+				for j := uint64(0); j < 4; j++ {
+					tx.Put(1+(base+j-1)%keyspace, sum+j)
+				}
+				return nil
+			}, journal)
+		}
+		if err != nil {
+			t.Errorf("worker %d: %v", worker, err)
+			return
+		}
+	}
+}
+
+// TestStressSerializability is the race-enabled stress + oracle suite for
+// every backend: N goroutines of mixed traffic, then the journal replay and
+// a final-state comparison.
+func TestStressSerializability(t *testing.T) {
+	const (
+		workers  = 8
+		keyspace = 256
+	)
+	txns := 1500
+	if testing.Short() {
+		txns = 300
+	}
+	for _, s := range allBackends(t, 4*keyspace, workers) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			journals := make([][]jrTxn, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				h := s.Handle(w)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					stressWorkload(t, h, w, txns, keyspace, &journals[w])
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			ref := replayJournals(t, s.Name(), journals)
+			got := snapshot(s)
+			if len(got) != len(ref) {
+				t.Fatalf("%s: final state has %d keys, serial replay has %d", s.Name(), len(got), len(ref))
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					t.Fatalf("%s: final state key %d = %d, serial replay has %d", s.Name(), k, got[k], v)
+				}
+			}
+			st := s.Stats()
+			var committed int
+			for _, j := range journals {
+				committed += len(j)
+			}
+			if st.Commits != uint64(committed) {
+				t.Errorf("%s: stats report %d commits, journals hold %d", s.Name(), st.Commits, committed)
+			}
+			t.Logf("%s: %d commits, %d aborts (rate %.3f)", s.Name(), st.Commits, st.Aborts, st.AbortRate())
+		})
+	}
+}

@@ -1,0 +1,326 @@
+// Package loadgen models heavy KV traffic against the stm/kvstore backends:
+// seeded zipfian key popularity (a few keys take most of the traffic, the
+// shape real user-facing stores see), three operation mixes (read-heavy,
+// write-heavy, large-transaction) and configurable worker counts. Each
+// worker draws a deterministic operation stream from its own seeded
+// generator, so a single-worker run is fully reproducible — the benchmark
+// checker exploits this: at workers=1 all backends must agree byte-for-byte
+// on the final-state checksum.
+//
+// This package is host-side by charter: it reads the wall clock to measure
+// throughput and latency (see internal/lint's host-side scope).
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tokentm/stm/kvstore"
+)
+
+// Mix is one operation mix. Percentages must sum to 100. A Get is a
+// single-key point read (the Handle.Get fast path, equivalent to a
+// read-only single-key transaction); a Put is a blind single-key update
+// (the Handle.Put fast path); a
+// Transfer reads two keys and rewrites both (the read-to-write upgrade
+// path); a Batch reads BatchGets keys and rewrites BatchPuts of them (the
+// large-transaction shape the paper targets).
+type Mix struct {
+	Name        string `json:"name"`
+	GetPct      int    `json:"get_pct"`
+	PutPct      int    `json:"put_pct"`
+	TransferPct int    `json:"transfer_pct"`
+	BatchPct    int    `json:"batch_pct"`
+	BatchGets   int    `json:"batch_gets"`
+	BatchPuts   int    `json:"batch_puts"`
+}
+
+// Mixes are the standard three mixes the benchmark grid sweeps.
+var Mixes = []Mix{
+	{Name: "read-heavy", GetPct: 90, PutPct: 8, TransferPct: 2},
+	{Name: "write-heavy", GetPct: 20, PutPct: 60, TransferPct: 20},
+	{Name: "large-txn", GetPct: 58, PutPct: 20, TransferPct: 10, BatchPct: 12, BatchGets: 32, BatchPuts: 8},
+}
+
+// MixByName resolves a mix by name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("loadgen: unknown mix %q", name)
+}
+
+// Config parameterizes one benchmark cell.
+type Config struct {
+	Backend  string  `json:"backend"`
+	Mix      Mix     `json:"mix"`
+	Workers  int     `json:"workers"`
+	Ops      int     `json:"ops"`      // total transactions across workers
+	Keyspace uint64  `json:"keyspace"` // live keys 1..Keyspace
+	Capacity int     `json:"capacity"` // store slot capacity
+	Seed     uint64  `json:"seed"`
+	ZipfS    float64 `json:"zipf_s"` // zipf skew (>1)
+}
+
+// Result is one cell's measurement. Mix/Backend/Workers/Ops identify the
+// cell deterministically; Commits/Aborts/Checksum are schedule-dependent
+// (but deterministic at Workers=1); the remaining fields are wall-clock
+// measurements of this host.
+type Result struct {
+	Mix     string `json:"mix"`
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	Ops     int    `json:"ops"`
+
+	Commits   uint64  `json:"commits"`
+	Aborts    uint64  `json:"aborts"`
+	AbortRate float64 `json:"abort_rate"`
+	Checksum  uint64  `json:"checksum"`
+
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"throughput_ops_s"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// latencySample measures every latencyEvery-th transaction, keeping timer
+// overhead out of the hot loop.
+const latencyEvery = 16
+
+// Run executes one benchmark cell: build the backend, prepopulate every key,
+// then drive cfg.Ops transactions from cfg.Workers goroutines and collect
+// throughput, latency percentiles and abort statistics.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 || cfg.Ops <= 0 || cfg.Keyspace == 0 {
+		return Result{}, fmt.Errorf("loadgen: bad config %+v", cfg)
+	}
+	store, err := kvstore.New(cfg.Backend, cfg.Capacity, cfg.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := prepopulate(store, cfg.Keyspace, cfg.Seed); err != nil {
+		return Result{}, err
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	per := cfg.Ops / cfg.Workers
+	for w := range workers {
+		ops := per
+		if w == 0 {
+			ops += cfg.Ops % cfg.Workers
+		}
+		workers[w] = newWorker(store.Handle(w), cfg, w, ops)
+	}
+
+	start := time.Now()
+	done := make(chan error, len(workers))
+	for _, w := range workers {
+		w := w
+		go func() { done <- w.run() }()
+	}
+	for range workers {
+		if werr := <-done; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+
+	st := store.Stats()
+	res := Result{
+		Mix:       cfg.Mix.Name,
+		Backend:   cfg.Backend,
+		Workers:   cfg.Workers,
+		Ops:       cfg.Ops,
+		Commits:   st.Commits,
+		Aborts:    st.Aborts,
+		AbortRate: st.AbortRate(),
+		Checksum:  checksum(store),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	res.P50Micros, res.P99Micros = percentiles(workers)
+	return res, nil
+}
+
+// prepopulate inserts every key in 1..keyspace (value = mixed key) in
+// batches, so the measured phase sees a warm store and Gets always hit.
+func prepopulate(store kvstore.Store, keyspace, seed uint64) error {
+	h := store.Handle(0)
+	const batch = 128
+	for lo := uint64(1); lo <= keyspace; lo += batch {
+		hi := lo + batch
+		if hi > keyspace+1 {
+			hi = keyspace + 1
+		}
+		lo := lo
+		if _, err := h.Txn(false, func(tx kvstore.Tx) error {
+			for k := lo; k < hi; k++ {
+				tx.Put(k, splitmix(k+seed))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worker drives one goroutine's share of a cell. The transaction closures
+// are bound once at construction and read their parameters from fields, so
+// the steady-state loop does not allocate.
+type worker struct {
+	h        kvstore.Handle
+	mix      Mix
+	keyspace uint64
+	ops      int
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	val  uint64 // splitmix state for generated values
+
+	k1, k2  uint64
+	xferFn  func(kvstore.Tx) error
+	batchFn func(kvstore.Tx) error
+
+	lat []int64 // sampled per-txn latencies, ns
+}
+
+func newWorker(h kvstore.Handle, cfg Config, id, ops int) *worker {
+	r := rand.New(rand.NewSource(int64(cfg.Seed) + int64(id)*1337))
+	w := &worker{
+		h:        h,
+		mix:      cfg.Mix,
+		keyspace: cfg.Keyspace,
+		ops:      ops,
+		rng:      r,
+		zipf:     rand.NewZipf(r, cfg.ZipfS, 1, cfg.Keyspace-1),
+		val:      cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1,
+		lat:      make([]int64, 0, ops/latencyEvery+1),
+	}
+	w.xferFn = func(tx kvstore.Tx) error {
+		a, _ := tx.Get(w.k1)
+		b, _ := tx.Get(w.k2)
+		tx.Put(w.k1, a+b)
+		tx.Put(w.k2, b+1)
+		return nil
+	}
+	w.batchFn = func(tx kvstore.Tx) error {
+		var sum uint64
+		for i := 0; i < w.mix.BatchGets; i++ {
+			v, _ := tx.Get(1 + (w.k1+uint64(i)-1)%w.keyspace)
+			sum += v
+		}
+		for i := 0; i < w.mix.BatchPuts; i++ {
+			tx.Put(1+(w.k2+uint64(i)-1)%w.keyspace, sum+uint64(i))
+		}
+		return nil
+	}
+	return w
+}
+
+// key draws a zipfian-popular key, spread over the table by a multiplicative
+// bijection so the hottest ranks do not cluster in adjacent slots.
+func (w *worker) key() uint64 {
+	rank := w.zipf.Uint64()
+	return rank*0x9E3779B1%w.keyspace + 1
+}
+
+func (w *worker) run() error {
+	for i := 0; i < w.ops; i++ {
+		sample := i%latencyEvery == 0
+		var t0 time.Time
+		if sample {
+			t0 = time.Now()
+		}
+		var err error
+		op := w.rng.Intn(100)
+		switch m := &w.mix; {
+		case op < m.GetPct:
+			w.k1 = w.key()
+			w.h.Get(w.k1)
+		case op < m.GetPct+m.PutPct:
+			w.k1 = w.key()
+			w.val++
+			w.h.Put(w.k1, splitmix(w.val))
+		case op < m.GetPct+m.PutPct+m.TransferPct:
+			w.k1, w.k2 = w.key(), w.key()
+			if w.k1 == w.k2 {
+				w.k2 = w.k2%w.keyspace + 1
+			}
+			_, err = w.h.Txn(false, w.xferFn)
+		default:
+			w.k1, w.k2 = w.key(), w.key()
+			_, err = w.h.Txn(false, w.batchFn)
+		}
+		if err != nil {
+			return err
+		}
+		if sample {
+			w.lat = append(w.lat, time.Since(t0).Nanoseconds())
+		}
+	}
+	return nil
+}
+
+// percentiles merges every worker's latency samples and returns p50/p99 in
+// microseconds.
+func percentiles(workers []*worker) (p50, p99 float64) {
+	var all []int64
+	for _, w := range workers {
+		all = append(all, w.lat...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return float64(all[i]) / 1e3
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// checksum folds the store's final state into one FNV-1a word, iterating in
+// sorted key order so equal states hash equal regardless of backend.
+func checksum(store kvstore.Store) uint64 {
+	type kv struct{ k, v uint64 }
+	var all []kv
+	store.ForEach(func(k, v uint64) { all = append(all, kv{k, v}) })
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, e := range all {
+		mix(e.k)
+		mix(e.v)
+	}
+	return h
+}
+
+// splitmix is splitmix64: the value stream generator.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import "testing"
+
+func testConfig(backend string, workers int) Config {
+	mix, _ := MixByName("read-heavy")
+	return Config{
+		Backend:  backend,
+		Mix:      mix,
+		Workers:  workers,
+		Ops:      4000,
+		Keyspace: 1024,
+		Capacity: 4096,
+		Seed:     7,
+		ZipfS:    1.1,
+	}
+}
+
+// TestSingleWorkerDeterminism: at workers=1 the op stream is one seeded
+// sequence, so every backend must land on the same final-state checksum —
+// and re-running a backend must reproduce it exactly.
+func TestSingleWorkerDeterminism(t *testing.T) {
+	var want uint64
+	for _, backend := range []string{"stm", "rwmutex", "tl2-occ"} {
+		cfg := testConfig(backend, 1)
+		r1, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		r2, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if r1.Checksum != r2.Checksum {
+			t.Errorf("%s: checksum not reproducible: %x vs %x", backend, r1.Checksum, r2.Checksum)
+		}
+		if want == 0 {
+			want = r1.Checksum
+		} else if r1.Checksum != want {
+			t.Errorf("%s: checksum %x diverges from first backend's %x", backend, r1.Checksum, want)
+		}
+		if r1.Commits == 0 || r1.Throughput <= 0 {
+			t.Errorf("%s: empty result %+v", backend, r1)
+		}
+	}
+}
+
+// TestAllMixesAllBackends smoke-runs the full grid shape at small scale.
+func TestAllMixesAllBackends(t *testing.T) {
+	for _, mix := range Mixes {
+		for _, backend := range []string{"stm", "rwmutex", "tl2-occ"} {
+			cfg := testConfig(backend, 4)
+			cfg.Mix = mix
+			cfg.Ops = 2000
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mix.Name, backend, err)
+			}
+			if r.Commits < uint64(cfg.Ops) {
+				t.Errorf("%s/%s: %d commits for %d ops", mix.Name, backend, r.Commits, cfg.Ops)
+			}
+			if r.Mix != mix.Name || r.Backend != backend || r.Workers != 4 {
+				t.Errorf("%s/%s: mislabeled result %+v", mix.Name, backend, r)
+			}
+		}
+	}
+}
+
+func TestMixPercentagesSum(t *testing.T) {
+	for _, m := range Mixes {
+		if s := m.GetPct + m.PutPct + m.TransferPct + m.BatchPct; s != 100 {
+			t.Errorf("mix %s: percentages sum to %d", m.Name, s)
+		}
+		if m.BatchPct > 0 && (m.BatchGets == 0 || m.BatchPuts == 0) {
+			t.Errorf("mix %s: batch ops without batch sizes", m.Name)
+		}
+	}
+}
+
+func TestMixByNameUnknown(t *testing.T) {
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := testConfig("stm", 0)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	cfg = testConfig("bogus", 1)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

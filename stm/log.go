@@ -1,0 +1,94 @@
+package stm
+
+// Per-transaction logs. Small transactions — the common case the paper
+// optimizes for — stay entirely within fixed inline arrays: no heap
+// traffic, no pointer chasing, and the release walk touches one cache-resident
+// struct. Footprints beyond inlineLog entries spill to heap slices whose
+// storage is retained across attempts and transactions, so even the slow
+// path stops allocating once warm. stats.FastReleases/SlowReleases count
+// which path each transaction took.
+const inlineLog = 24
+
+// undoEnt records one overwritten word for abort rollback.
+type undoEnt struct {
+	addr Addr
+	old  uint64
+}
+
+// txLogs is the attempt-scoped log set: blocks holding read tokens, blocks
+// holding write tokens, and word-granular undo records. Undo entries are
+// appended per store without deduplication; reverse replay restores the
+// oldest value last, which makes duplicates harmless.
+type txLogs struct {
+	nRead, nWrite, nUndo int
+
+	readInl  [inlineLog]uint32
+	writeInl [inlineLog]uint32
+	undoInl  [inlineLog]undoEnt
+
+	readSpill  []uint32
+	writeSpill []uint32
+	undoSpill  []undoEnt
+}
+
+// reset empties the logs, retaining spill storage.
+func (l *txLogs) reset() {
+	l.nRead, l.nWrite, l.nUndo = 0, 0, 0
+	l.readSpill = l.readSpill[:0]
+	l.writeSpill = l.writeSpill[:0]
+	l.undoSpill = l.undoSpill[:0]
+}
+
+// inline reports whether the whole footprint stayed within the inline
+// arrays — the fast-release criterion.
+func (l *txLogs) inline() bool {
+	return l.nRead <= inlineLog && l.nWrite <= inlineLog && l.nUndo <= inlineLog
+}
+
+func (l *txLogs) appendRead(b uint32) {
+	if l.nRead < inlineLog {
+		l.readInl[l.nRead] = b
+	} else {
+		l.readSpill = append(l.readSpill, b)
+	}
+	l.nRead++
+}
+
+func (l *txLogs) readAt(i int) uint32 {
+	if i < inlineLog {
+		return l.readInl[i]
+	}
+	return l.readSpill[i-inlineLog]
+}
+
+func (l *txLogs) appendWrite(b uint32) {
+	if l.nWrite < inlineLog {
+		l.writeInl[l.nWrite] = b
+	} else {
+		l.writeSpill = append(l.writeSpill, b)
+	}
+	l.nWrite++
+}
+
+func (l *txLogs) writeAt(i int) uint32 {
+	if i < inlineLog {
+		return l.writeInl[i]
+	}
+	return l.writeSpill[i-inlineLog]
+}
+
+func (l *txLogs) appendUndo(a Addr, old uint64) {
+	if l.nUndo < inlineLog {
+		l.undoInl[l.nUndo] = undoEnt{addr: a, old: old}
+	} else {
+		l.undoSpill = append(l.undoSpill, undoEnt{addr: a, old: old})
+	}
+	l.nUndo++
+}
+
+func (l *txLogs) undoAt(i int) undoEnt {
+	if i < inlineLog {
+		return l.undoInl[i]
+	}
+	return l.undoSpill[i-inlineLog]
+}

@@ -1,0 +1,203 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"tokentm/internal/metastate"
+)
+
+// These tests pin the non-transactional point-op fast paths: Snapshot2
+// (validated paired read) and Upsert2 (single-block claim-or-skip write).
+
+func TestSnapshot2ObservesCommit(t *testing.T) {
+	tm := New(4, 2, 1) // 2 words per block: addrs 0,1 share block 0
+	th := tm.Thread(0)
+
+	v1, v2, s0 := th.Snapshot2(0, 1)
+	if v1 != 0 || v2 != 0 || s0 != 0 {
+		t.Fatalf("fresh block snapshot = (%d,%d,%d), want (0,0,0)", v1, v2, s0)
+	}
+
+	serial, err := th.Atomically(func(tx *Tx) error {
+		tx.Store(0, 11)
+		tx.Store(1, 22)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2, s1 := th.Snapshot2(0, 1)
+	if v1 != 11 || v2 != 22 {
+		t.Fatalf("snapshot = (%d,%d), want (11,22)", v1, v2)
+	}
+	if s1 != serial {
+		t.Fatalf("snapshot serial %d, want the writer's release stamp %d", s1, serial)
+	}
+	quiesced(t, tm)
+}
+
+// TestSnapshot2Torn hammers one block with a writer flipping between two
+// internally consistent states while readers snapshot it: a snapshot must
+// never pair values from different commits.
+func TestSnapshot2Torn(t *testing.T) {
+	const rounds = 2000
+	tm := New(2, 2, 2)
+	wr := tm.Thread(0)
+	rd := tm.Thread(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= rounds; i++ {
+			if _, err := wr.Atomically(func(tx *Tx) error {
+				tx.Store(0, i)
+				tx.Store(1, ^i)
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var lastSerial uint64
+	for {
+		v1, v2, s := rd.Snapshot2(0, 1)
+		if v1 != 0 && v2 != ^v1 {
+			t.Fatalf("torn snapshot: (%d,%d)", v1, v2)
+		}
+		if s < lastSerial {
+			t.Fatalf("snapshot serial went backwards: %d after %d", s, lastSerial)
+		}
+		lastSerial = s
+		if v1 == rounds {
+			break
+		}
+		select {
+		case <-done:
+			if v1, _, _ := rd.Snapshot2(0, 1); v1 != rounds {
+				t.Fatalf("writer done but snapshot reads %d", v1)
+			}
+			quiesced(t, tm)
+			return
+		default:
+		}
+	}
+	<-done
+	quiesced(t, tm)
+}
+
+func TestUpsert2ClaimSkipAndStamp(t *testing.T) {
+	tm := New(4, 2, 1)
+	th := tm.Thread(0)
+
+	// Fresh slot: the claim installs key and value and stamps the serial.
+	claimed, s1 := th.Upsert2(0, 1, 77, 100)
+	if !claimed || s1 == 0 {
+		t.Fatalf("claim of empty slot = (%v,%d)", claimed, s1)
+	}
+	if k, v, s := th.Snapshot2(0, 1); k != 77 || v != 100 || s != s1 {
+		t.Fatalf("after claim: (%d,%d,%d), want (77,100,%d)", k, v, s, s1)
+	}
+
+	// Same key: an update, drawing a strictly later serial.
+	claimed, s2 := th.Upsert2(0, 1, 77, 200)
+	if !claimed || s2 <= s1 {
+		t.Fatalf("update = (%v,%d), want claimed with serial > %d", claimed, s2, s1)
+	}
+
+	// Different key: the skip path must leave value AND stamp untouched —
+	// a moved stamp would falsely invalidate concurrent snapshot readers.
+	before := metastate.PackedWord(tm.metaw(0).Load())
+	claimed, s3 := th.Upsert2(0, 1, 99, 300)
+	if claimed || s3 != 0 {
+		t.Fatalf("claim of occupied slot = (%v,%d), want (false,0)", claimed, s3)
+	}
+	if after := metastate.PackedWord(tm.metaw(0).Load()); after != before {
+		t.Fatalf("skip moved the metastate word: %#x -> %#x", uint64(before), uint64(after))
+	}
+	if k, v, s := th.Snapshot2(0, 1); k != 77 || v != 200 || s != s2 {
+		t.Fatalf("after skip: (%d,%d,%d), want (77,200,%d)", k, v, s, s2)
+	}
+	quiesced(t, tm)
+
+	st := tm.Stats()
+	if st.Commits != 2 {
+		t.Fatalf("commits = %d, want 2 (skips do not commit)", st.Commits)
+	}
+}
+
+// TestUpsert2Race: distinct keys race for one slot; exactly one claims it,
+// and the block quiesces with the winner installed.
+func TestUpsert2Race(t *testing.T) {
+	const workers = 8
+	tm := New(2, 2, workers)
+	var claims int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := tm.Thread(w)
+		key := uint64(1000 + w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ok, _ := th.Upsert2(0, 1, key, key*10); ok {
+				mu.Lock()
+				claims++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if claims != 1 {
+		t.Fatalf("%d claims of one slot, want exactly 1", claims)
+	}
+	k, v, _ := tm.Thread(0).Snapshot2(0, 1)
+	if k < 1000 || k >= 1000+workers || v != k*10 {
+		t.Fatalf("winner state (%d,%d) inconsistent", k, v)
+	}
+	quiesced(t, tm)
+}
+
+func TestPointOpsInsideTxnPanic(t *testing.T) {
+	tm := New(4, 2, 1)
+	th := tm.Thread(0)
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"Upsert2", func() { th.Upsert2(0, 1, 1, 2) }},
+		{"Snapshot2", func() { th.Snapshot2(0, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s inside own write transaction did not panic", tc.name)
+				}
+			}()
+			th.Atomically(func(tx *Tx) error {
+				tx.Store(0, 1) // write token on block 0 held by this thread
+				tc.call()
+				return nil
+			})
+		}()
+	}
+	quiesced(t, tm)
+}
+
+func TestPointOpsSpanPanic(t *testing.T) {
+	tm := New(4, 2, 1)
+	th := tm.Thread(0)
+	for _, call := range []func(){
+		func() { th.Snapshot2(0, 2) }, // different blocks
+		func() { th.Upsert2(0, 2, 1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("cross-block point op did not panic")
+				}
+			}()
+			call()
+		}()
+	}
+}

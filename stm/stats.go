@@ -1,0 +1,50 @@
+package stm
+
+// Stats counts per-thread transaction outcomes and conflict events. Fields
+// are plain counters written only by the owning goroutine; read them through
+// TM.Stats (quiescent) or after the worker has joined.
+type Stats struct {
+	Commits uint64 // committed transactions
+	Aborts  uint64 // aborted attempts (each retried attempt counts once)
+
+	Upgrades     uint64 // read-to-write upgrades (token fold-in path)
+	FastReleases uint64 // attempts whose footprint stayed in the inline logs
+	SlowReleases uint64 // attempts that spilled to heap logs
+
+	ConflictWriter uint64 // acquisition rounds lost to a writer's (T,X)
+	ConflictReader uint64 // write acquisitions lost to outstanding readers
+	ConflictAnon   uint64 // conflicts with anonymous (unidentifiable) holders
+
+	ConflictAborts uint64 // attempts abandoned after spinLimit rounds
+	DoomedAborts   uint64 // attempts abandoned because an elder doomed us
+	Dooms          uint64 // younger enemies we doomed (eldest tiebreak)
+
+	SnapshotCommits uint64 // read-only transactions committed in snapshot mode
+	SnapshotRetries uint64 // snapshot attempts retried on a stale read serial
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o *Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Upgrades += o.Upgrades
+	s.FastReleases += o.FastReleases
+	s.SlowReleases += o.SlowReleases
+	s.ConflictWriter += o.ConflictWriter
+	s.ConflictReader += o.ConflictReader
+	s.ConflictAnon += o.ConflictAnon
+	s.ConflictAborts += o.ConflictAborts
+	s.DoomedAborts += o.DoomedAborts
+	s.Dooms += o.Dooms
+	s.SnapshotCommits += o.SnapshotCommits
+	s.SnapshotRetries += o.SnapshotRetries
+}
+
+// AbortRate returns aborted attempts per executed attempt.
+func (s Stats) AbortRate() float64 {
+	attempts := s.Commits + s.Aborts
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(attempts)
+}

@@ -1,0 +1,389 @@
+// Package stm is a goroutine-concurrent software transactional memory that
+// ports TokenTM's token double-entry protocol from the simulator to real
+// shared memory. It is the host-side counterpart of internal/htm: the same
+// fission/fusion metastate rules (paper Tables 3a/3b) drive conflict
+// detection, but the per-block metastate lives in 64-bit words updated with
+// sync/atomic compare-and-swap (internal/metastate.PackedWord widens the
+// Table-4a packing for exactly this use), transactions run on goroutines
+// instead of simulated cores, and version management is eager: writes go to
+// memory in place, guarded by write tokens, with a per-goroutine undo log
+// replayed on abort (the LogTM lineage TokenTM builds on).
+//
+// What is faithful and what is approximated relative to the paper is
+// catalogued in DESIGN.md ("Host STM: simulator structures and their
+// atomics counterparts"). The short version: token acquisition, fusion of
+// anonymous readers, read-to-write upgrades that fold the upgrader's own
+// read token into the all-token claim, and the fast small-transaction
+// release path all survive the port; L1 metadata arrays, ECC token storage,
+// and signatures do not (a host STM has no cache to hide metadata in, so
+// every access pays the metadata CAS that TokenTM's L1 fast path avoids).
+//
+// Progress: conflicts resolve by requester-side bounded exponential backoff
+// with an eldest-transaction tiebreak — a transaction draws a birth ticket
+// lazily at its first conflict (conflict-free transactions never touch the
+// global ticket counter) and keeps it across retries, and a conflicter that
+// is older than the token holder dooms the holder (the holder aborts at its
+// next acquisition or commit). A ticketless transaction counts as youngest.
+// Once every member of a persistent conflict set has conflicted, all hold
+// distinct tickets; the eldest among them is never doomed and dooms
+// everything in its way, so it eventually runs alone and commits: no
+// deadlock and no starvation.
+//
+// Read-only transactions (Thread.ReadOnly) skip tokens entirely and run in
+// snapshot mode: they draw a read serial rv from the commit clock and
+// validate every load against the writer-release stamp each block's
+// PackedWord carries (see internal/metastate), seqlock-style. Visible-reader
+// token traffic is the right cost model for hardware metabits riding the
+// cache hierarchy, but on a host every acquire/release pair is two
+// contended CAS — snapshot readers pay plain loads instead, and writers
+// keep the full token protocol unchanged.
+package stm
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"tokentm/internal/mem"
+)
+
+// Addr indexes a 64-bit word of transactional memory.
+type Addr uint32
+
+// MaxThreads bounds concurrent transactional threads: thread identifiers
+// must fit the packed metastate's 14-bit attribute field, with TID 0
+// reserved as "no owner" (mem.NoTID).
+const MaxThreads = int(mem.MaxTID)
+
+// TM is one transactional memory region: an array of data words plus one
+// packed token word per block. All transactional access goes through a
+// Thread's Atomically; LoadWord/StoreWord exist for quiescent setup and
+// inspection only.
+type TM struct {
+	shift     uint   // log2(words per block)
+	numBlocks uint32 // len(meta)
+
+	// words holds the data. Mutation is guarded by write-token ownership;
+	// the atomic type is for snapshot-mode readers, which load data words
+	// without holding a token and discard unstable reads seqlock-style —
+	// logically sound, but a plain-typed word would still be a detector-level
+	// race. On amd64 the atomic load is an ordinary MOV, so the token paths
+	// pay nothing for it. The metadata lives in its own dense array (8
+	// blocks' token words per cache line) rather than interleaved with the
+	// data: the hot fraction of it stays cache-resident the way TokenTM's
+	// L1 metabit arrays do, which measures faster than paying the full data
+	// footprint on every token check.
+	words []atomic.Uint64
+	meta  []atomic.Uint64 // one metastate.PackedWord per block
+
+	births atomic.Uint64 // birth-ticket source (eldest tiebreak)
+	serial atomic.Uint64 // commit serial clock; doubles as the snapshot read clock
+
+	threads []Thread // descriptor slots, indexed by TID-1
+}
+
+// New builds a TM with numBlocks blocks of wordsPerBlock 64-bit words each
+// (wordsPerBlock must be a power of two — the conflict-detection granularity,
+// the host analog of the paper's 64-byte block), supporting up to maxThreads
+// concurrent transactional threads.
+func New(numBlocks, wordsPerBlock, maxThreads int) *TM {
+	if wordsPerBlock <= 0 || wordsPerBlock&(wordsPerBlock-1) != 0 {
+		panic(fmt.Sprintf("stm: wordsPerBlock %d is not a power of two", wordsPerBlock))
+	}
+	if numBlocks <= 0 {
+		panic("stm: numBlocks must be positive")
+	}
+	if maxThreads <= 0 || maxThreads > MaxThreads {
+		panic(fmt.Sprintf("stm: maxThreads %d outside [1, %d]", maxThreads, MaxThreads))
+	}
+	tm := &TM{
+		shift:     uint(bits.TrailingZeros(uint(wordsPerBlock))),
+		numBlocks: uint32(numBlocks),
+		words:     make([]atomic.Uint64, numBlocks*wordsPerBlock),
+		meta:      make([]atomic.Uint64, numBlocks),
+		threads:   make([]Thread, maxThreads),
+	}
+	for i := range tm.threads {
+		th := &tm.threads[i]
+		th.tm = tm
+		th.tid = mem.TID(i + 1)
+		th.rng = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	return tm
+}
+
+// NumBlocks returns the number of conflict-detection blocks.
+func (tm *TM) NumBlocks() int { return int(tm.numBlocks) }
+
+// WordsPerBlock returns the conflict-detection granularity in words.
+func (tm *TM) WordsPerBlock() int { return 1 << tm.shift }
+
+// NumWords returns the total number of data words.
+func (tm *TM) NumWords() int { return len(tm.words) }
+
+// metaw returns block b's packed token word.
+func (tm *TM) metaw(b uint32) *atomic.Uint64 { return &tm.meta[b] }
+
+// dataw returns the cell holding data word a.
+func (tm *TM) dataw(a Addr) *atomic.Uint64 { return &tm.words[a] }
+
+// Thread returns the transactional thread with the given id (0-based,
+// < maxThreads). Each Thread is single-goroutine: bind one per worker. The
+// per-block mark table is allocated on first use, so unused thread slots
+// cost nothing.
+func (tm *TM) Thread(id int) *Thread {
+	th := &tm.threads[id]
+	if th.mark == nil {
+		th.mark = make([]uint64, tm.numBlocks)
+		// Touch one word per page: a large make is lazily mapped, and
+		// faulting its pages in here keeps first-touch page faults out of
+		// the transaction hot path (they otherwise land mid-workload, on
+		// the first write to each cold region of the table).
+		for i := 0; i < len(th.mark); i += 512 {
+			th.mark[i] = 0
+		}
+		th.tx.th = th
+	}
+	return th
+}
+
+// LoadWord reads a data word non-transactionally. Callers must guarantee
+// quiescence (setup before workers start, or inspection after they join).
+func (tm *TM) LoadWord(a Addr) uint64 { return tm.dataw(a).Load() }
+
+// StoreWord writes a data word non-transactionally, under the same
+// quiescence contract as LoadWord.
+func (tm *TM) StoreWord(a Addr, v uint64) { tm.dataw(a).Store(v) }
+
+// Stats sums per-thread statistics. Quiescent-only: call after workers join.
+func (tm *TM) Stats() Stats {
+	var s Stats
+	for i := range tm.threads {
+		s.add(&tm.threads[i].stats)
+	}
+	return s
+}
+
+// Thread status word: attempt<<statusShift | state. Doom targets one exact
+// attempt, so a CAS from a stale status word can never kill a later
+// transaction (the attempt counter has moved on).
+const (
+	stateIdle   = 0 // between transactions (or committed)
+	stateActive = 1 // attempt running
+	stateDoomed = 2 // an elder conflicter requested abort
+	statusShift = 2
+	stateMask   = 1<<statusShift - 1
+)
+
+// Thread is a per-goroutine transactional context. A Thread must not be
+// shared between goroutines; its Tx is reused across transactions so the
+// steady state allocates nothing.
+type Thread struct {
+	tm  *TM
+	tid mem.TID // 1-based; packs into the metastate attribute field
+
+	status  atomic.Uint64 // attempt<<statusShift | state
+	birth   atomic.Uint64 // birth ticket; 0 = not drawn yet (youngest)
+	attempt uint64        // current attempt id (owner-written, status-published)
+
+	// mark is the per-block footprint table: mark[b] = attempt<<2 | bits.
+	// Stale attempts invalidate every entry at once, so resetting the
+	// footprint between attempts is O(1) — the host analog of the paper's
+	// L1 metadata flash-clear.
+	mark []uint64
+
+	rng   uint64 // splitmix64 state for backoff jitter
+	tx    Tx
+	stats Stats
+}
+
+// mark-table encoding: mark[b] = attempt<<markShift | bits.
+const (
+	markRead  = 1
+	markWrite = 2
+	markShift = 2
+	markMask  = 1<<markShift - 1
+)
+
+// retrySignal unwinds the user function on conflict abort; Atomically
+// recovers it and retries the transaction.
+type retrySignal struct{}
+
+// Atomically runs fn as one transaction: every Load and Store inside is
+// conflict-checked at block granularity and the whole effect commits
+// atomically. On conflict the attempt is rolled back (undo log) and fn is
+// re-executed after backoff — fn must therefore be safe to repeat and must
+// not leak transactional values out except through its final successful run.
+// A non-nil error from fn aborts the transaction (all writes undone) and is
+// returned. On commit, Atomically returns a serial number: a total order of
+// commits consistent with transactional conflicts (the ticket is drawn while
+// every read and write token is still held, so it is a true serialization
+// point).
+func (th *Thread) Atomically(fn func(tx *Tx) error) (serial uint64, err error) {
+	if th.mark == nil {
+		panic("stm: Thread not obtained via TM.Thread")
+	}
+	if th.tx.ro || th.status.Load()&stateMask != stateIdle {
+		panic("stm: nested Atomically on one Thread")
+	}
+	th.birth.Store(0) // ticket drawn lazily at first conflict
+	tx := &th.tx
+	for retries := 0; ; retries++ {
+		th.beginAttempt(tx)
+		serial, err, again := th.runAttempt(tx, fn)
+		if !again {
+			return serial, err
+		}
+		th.backoff(retries)
+	}
+}
+
+// ReadOnly runs fn as a snapshot transaction: no tokens are acquired and no
+// footprint is published. Every Load is validated against a read serial rv
+// drawn at attempt start — the block must carry no write token and a
+// writer-release stamp no newer than rv, re-checked after the data load —
+// so the attempt observes exactly the committed state at serial rv, which
+// is returned as the transaction's serial. A load that trips on a newer
+// writer unwinds the attempt and retries with a fresh rv. Store inside fn
+// panics; use Atomically for anything that writes.
+//
+// Snapshot transactions never publish the thread status word: they hold
+// nothing another transaction could wait on, so the doom protocol has no
+// business with them (nesting is guarded by the ro flag instead).
+func (th *Thread) ReadOnly(fn func(tx *Tx) error) (serial uint64, err error) {
+	if th.mark == nil {
+		panic("stm: Thread not obtained via TM.Thread")
+	}
+	if th.tx.ro || th.status.Load()&stateMask != stateIdle {
+		panic("stm: nested transaction on one Thread")
+	}
+	tx := &th.tx
+	for retries := 0; ; retries++ {
+		tx.ro = true
+		tx.rv = th.tm.serial.Load()
+		serial, err, again := th.runROAttempt(tx, fn)
+		if !again {
+			return serial, err
+		}
+		th.stats.SnapshotRetries++
+		th.backoff(retries)
+	}
+}
+
+// runROAttempt executes fn once in snapshot mode. There is nothing to roll
+// back — snapshot attempts write nothing, shared or logged; the one defer
+// both catches the retry signal and clears the ro flag (ReadOnly re-arms it
+// per attempt), so the whole path costs a single deferred frame.
+func (th *Thread) runROAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, err error, again bool) {
+	defer func() {
+		tx.ro = false
+		if r := recover(); r != nil {
+			if _, ok := r.(retrySignal); ok {
+				again = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err = fn(tx); err != nil {
+		return 0, err, false
+	}
+	th.stats.Commits++
+	th.stats.SnapshotCommits++
+	return tx.rv, nil, false
+}
+
+// beginAttempt publishes a fresh attempt: bumping the attempt id invalidates
+// every mark-table entry and every doom CAS aimed at the previous attempt.
+func (th *Thread) beginAttempt(tx *Tx) {
+	th.attempt++
+	th.status.Store(th.attempt<<statusShift | stateActive)
+	tx.logs.reset()
+}
+
+// runAttempt executes fn once, committing on success. again reports that the
+// attempt aborted on conflict and the transaction should be retried. A panic
+// from fn rolls the attempt back (no tokens leak) and re-panics.
+func (th *Thread) runAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, err error, again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(retrySignal); ok {
+				again = true
+				return
+			}
+			tx.abortAttempt()
+			th.status.Store(th.attempt<<statusShift | stateIdle)
+			panic(r)
+		}
+	}()
+	if err = fn(tx); err != nil {
+		tx.abortAttempt()
+		th.status.Store(th.attempt<<statusShift | stateIdle)
+		return 0, err, false
+	}
+	return tx.commitAttempt(), nil, false
+}
+
+// backoff delays a conflicted transaction before its next attempt: bounded
+// exponential in the retry count with splitmix jitter, yielding the
+// processor so the token holder can run (essential when GOMAXPROCS is small).
+func (th *Thread) backoff(retries int) {
+	shift := retries
+	if shift > 6 {
+		shift = 6
+	}
+	n := uint64(1) << shift
+	n += nextRand(&th.rng) & (n - 1)
+	for i := uint64(0); i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// doomed reports whether an elder transaction has requested this attempt's
+// abort.
+func (th *Thread) doomed() bool {
+	return th.status.Load() == th.attempt<<statusShift|stateDoomed
+}
+
+// ensureBirth draws this transaction's birth ticket on first conflict. The
+// ticket then persists across retries (it is reset only at Atomically
+// entry), so a repeatedly-aborted transaction ages toward eldest.
+func (th *Thread) ensureBirth() {
+	if th.birth.Load() == 0 {
+		th.birth.Store(th.tm.births.Add(1))
+	}
+}
+
+// maybeDoom implements the eldest-transaction tiebreak: if the conflicting
+// token holder is an active transaction younger than us, request its abort.
+// A holder that has never conflicted carries no ticket (birth 0) and counts
+// as youngest. The CAS dooms one exact (thread, attempt) pair; any race
+// with the enemy retiring that attempt makes the CAS fail harmlessly.
+func (th *Thread) maybeDoom(enemy mem.TID) {
+	es := &th.tm.threads[enemy-1]
+	s := es.status.Load()
+	if s&stateMask != stateActive {
+		return
+	}
+	if eb := es.birth.Load(); eb != 0 && eb <= th.birth.Load() {
+		return // enemy is elder (or ourselves): back off instead
+	}
+	if es.status.CompareAndSwap(s, s&^uint64(stateMask)|stateDoomed) {
+		th.stats.Dooms++
+	}
+}
+
+// nextRand is splitmix64: cheap per-thread jitter with no global state (the
+// wallclock lint contract bans global math/rand in sim packages; host-side
+// code keeps the same hygiene by construction).
+func nextRand(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

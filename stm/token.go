@@ -1,0 +1,611 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+
+	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
+)
+
+// This file is the host port of the token protocol proper: every transition
+// is a CAS on the block's 64-bit metastate.PackedWord, computing the
+// successor state with the same Table 3a/3b fission/fusion rules the
+// simulator uses. Reads acquire one token (fissioning into the anonymous
+// reader count when a second reader arrives); writes acquire all T tokens;
+// a read-to-write upgrade folds the upgrader's own read token into the
+// all-token claim — the bug class the PR 5 model checker caught in the
+// simulator (double-counting the upgrader's token) is pinned here by
+// TestUpgradeFoldsReadToken and the race stress suite.
+
+// Tx is one transaction attempt's view of a TM. Obtain it inside
+// Thread.Atomically or Thread.ReadOnly; it is invalid outside fn.
+type Tx struct {
+	th   *Thread
+	ro   bool   // snapshot mode: no tokens, loads validated against rv
+	rv   uint64 // snapshot read serial (ro mode only)
+	logs txLogs
+}
+
+// Load returns the word at a. In token mode it acquires a read token for
+// the block on first touch; conflicts with a writer unwind the attempt via
+// retrySignal. In snapshot mode it performs a stamp-validated tokenless
+// read instead.
+func (tx *Tx) Load(a Addr) uint64 {
+	if tx.ro {
+		return tx.loadRO(a)
+	}
+	return tx.loadToken(a)
+}
+
+// loadToken is the token-mode Load body, outlined so the Load dispatcher
+// inlines into callers.
+func (tx *Tx) loadToken(a Addr) uint64 {
+	th := tx.th
+	b := uint32(a) >> th.tm.shift
+	if m := th.mark[b]; m>>markShift == th.attempt && m&markMask != 0 {
+		return th.tm.dataw(a).Load() // token already held (read or write)
+	}
+	tx.acquireRead(b)
+	th.mark[b] = th.attempt<<markShift | markRead
+	tx.logs.appendRead(b)
+	return th.tm.dataw(a).Load()
+}
+
+// Load2 returns the words at a1 and a2, which must lie in the same block —
+// the common "adjacent fields of one record" shape. It costs one token
+// acquisition (or one snapshot validation) instead of two Loads.
+func (tx *Tx) Load2(a1, a2 Addr) (uint64, uint64) {
+	if uint32(a1)>>tx.th.tm.shift != uint32(a2)>>tx.th.tm.shift {
+		spanPanic(a1, a2)
+	}
+	if tx.ro {
+		return tx.loadRO2(a1, a2)
+	}
+	return tx.load2Token(a1, a2)
+}
+
+// load2Token is the token-mode Load2 body, outlined so the dispatcher
+// inlines into callers.
+func (tx *Tx) load2Token(a1, a2 Addr) (uint64, uint64) {
+	th := tx.th
+	b := uint32(a1) >> th.tm.shift
+	if m := th.mark[b]; m>>markShift == th.attempt && m&markMask != 0 {
+		return th.tm.dataw(a1).Load(), th.tm.dataw(a2).Load()
+	}
+	tx.acquireRead(b)
+	th.mark[b] = th.attempt<<markShift | markRead
+	tx.logs.appendRead(b)
+	return th.tm.dataw(a1).Load(), th.tm.dataw(a2).Load()
+}
+
+// spanPanic is outlined so Load2's inlining budget is not spent on the
+// error path's formatting.
+func spanPanic(a1, a2 Addr) {
+	panic(fmt.Sprintf("stm: Load2 addresses %d and %d span blocks", a1, a2))
+}
+
+// loadRO is the single-word snapshot read; see loadRO2 for the protocol.
+func (tx *Tx) loadRO(a Addr) uint64 {
+	v, _ := tx.loadRO2(a, a)
+	return v
+}
+
+// loadRO2 is the snapshot-mode read: accept the block iff its metastate
+// shows no writer and its writer-release stamp is at most rv, re-reading
+// the token word after the data loads for stability. Data words change only
+// between a write acquire (state WriteT) and the matching release (which
+// installs a fresh stamp), so a stable writer-free word brackets stable
+// data words. A writer mid-flight is waited out — its stamp may still land
+// at or under rv; a block stamped past rv means the snapshot is stale and
+// the attempt retries with a fresh rv.
+func (tx *Tx) loadRO2(a1, a2 Addr) (uint64, uint64) {
+	th := tx.th
+	w := th.tm.metaw(uint32(a1) >> th.tm.shift)
+	for spin := 0; ; spin++ {
+		w1 := metastate.PackedWord(w.Load())
+		if w1.Packed().State() == metastate.StateWriteT {
+			th.stats.ConflictWriter++
+			if spin >= spinLimit {
+				panic(retrySignal{})
+			}
+			spinWait(spin, &th.rng)
+			continue
+		}
+		if w1.Stamp() > tx.rv {
+			panic(retrySignal{}) // written after our snapshot
+		}
+		v1 := th.tm.dataw(a1).Load()
+		v2 := th.tm.dataw(a2).Load()
+		if metastate.PackedWord(w.Load()) == w1 {
+			return v1, v2
+		}
+	}
+}
+
+// Store writes v to a, acquiring all of the block's tokens on first write.
+// A block previously read by this transaction takes the upgrade path.
+func (tx *Tx) Store(a Addr, v uint64) {
+	th := tx.th
+	if tx.ro {
+		panic("stm: Store inside a read-only transaction")
+	}
+	tx.writeAcquire(uint32(a) >> th.tm.shift)
+	tx.logs.appendUndo(a, th.tm.dataw(a).Load())
+	th.tm.dataw(a).Store(v)
+}
+
+// LoadW returns the word at a after acquiring the block's write tokens — the
+// "read a word I am about to overwrite" shape. Unlike Load+Store it never
+// takes the read-token detour, so a blind update costs one acquisition.
+func (tx *Tx) LoadW(a Addr) uint64 {
+	th := tx.th
+	if tx.ro {
+		panic("stm: LoadW inside a read-only transaction")
+	}
+	tx.writeAcquire(uint32(a) >> th.tm.shift)
+	return th.tm.dataw(a).Load()
+}
+
+// writeAcquire ensures this transaction holds block b's write tokens,
+// upgrading a held read token (fold-in) or acquiring fresh.
+func (tx *Tx) writeAcquire(b uint32) {
+	th := tx.th
+	m := th.mark[b]
+	if m>>markShift != th.attempt {
+		m = 0
+	}
+	switch {
+	case m&markWrite != 0:
+		// Already the writer.
+	case m&markRead != 0:
+		tx.acquireWrite(b, true)
+		th.mark[b] = th.attempt<<markShift | markRead | markWrite
+		tx.logs.appendWrite(b)
+		th.stats.Upgrades++
+	default:
+		tx.acquireWrite(b, false)
+		th.mark[b] = th.attempt<<markShift | markWrite
+		tx.logs.appendWrite(b)
+	}
+}
+
+// Stable returns the word at a WITHOUT recording it in the transaction's
+// footprint: a bounded-spin seqlock read that waits out any in-flight
+// writer and returns a committed value. The caller must guarantee that the
+// transaction's outcome is insensitive to concurrent commits changing the
+// word — in practice, that the word is write-once (like a hash-table key in
+// an insert-only table: once a committed probe sees it nonzero it is
+// immutable, so probing past it needs no conflict detection). Any decision
+// that IS order-sensitive — matching the key, observing an empty slot —
+// must be re-made through Load/LoadW/Load2 on the owning block.
+func (tx *Tx) Stable(a Addr) uint64 {
+	th := tx.th
+	b := uint32(a) >> th.tm.shift
+	if !tx.ro {
+		if m := th.mark[b]; m>>markShift == th.attempt && m&markMask != 0 {
+			return th.tm.dataw(a).Load() // our own token (possibly mid-write)
+		}
+	}
+	w := th.tm.metaw(b)
+	for spin := 0; ; spin++ {
+		w1 := metastate.PackedWord(w.Load())
+		if w1.Packed().State() == metastate.StateWriteT {
+			th.stats.ConflictWriter++
+			if spin >= spinLimit {
+				// Requester-side resolution, as in acquireRead: give up so
+				// any token we hold cannot deadlock against the writer.
+				if tx.ro {
+					panic(retrySignal{})
+				}
+				tx.retry(&th.stats.ConflictAborts)
+			}
+			spinWait(spin, &th.rng)
+			continue
+		}
+		v := th.tm.dataw(a).Load()
+		if metastate.PackedWord(w.Load()) == w1 {
+			return v
+		}
+	}
+}
+
+// Snapshot2 reads the words at a1 and a2 — which must lie in one block — at
+// a consistent committed snapshot, without starting a transaction: the
+// point-read fast path. The returned serial is the block's writer-release
+// stamp, a commit serial at which exactly the observed values were current;
+// a single-block read-only transaction at that serial would return the same
+// values, so journals mixing Snapshot2 reads with transactional commits
+// still replay serializably. An in-flight writer is waited out (bounded
+// yields, never parking). Must not be called from inside a transaction on
+// the same Thread that has written the block — the wait would spin on the
+// caller's own write token; the cold path panics on that misuse.
+// The body is split so the no-writer, no-retry common case stays within
+// the compiler's inlining budget: a kv store's probe loop then pays four
+// plain atomic loads per slot, not a function call.
+func (th *Thread) Snapshot2(a1, a2 Addr) (v1, v2, serial uint64) {
+	tm := th.tm
+	if uint32(a1^a2)>>tm.shift != 0 {
+		spanPanic(a1, a2)
+	}
+	w := tm.metaw(uint32(a1) >> tm.shift)
+	w1 := w.Load()
+	if metastate.PackedWord(w1).Packed().State() != metastate.StateWriteT {
+		v1 = tm.dataw(a1).Load()
+		v2 = tm.dataw(a2).Load()
+		if w.Load() == w1 {
+			return v1, v2, metastate.PackedWord(w1).Stamp()
+		}
+	}
+	return th.snapshot2Slow(a1, a2)
+}
+
+func (th *Thread) snapshot2Slow(a1, a2 Addr) (v1, v2, serial uint64) {
+	tm := th.tm
+	b := uint32(a1) >> tm.shift
+	w := tm.metaw(b)
+	for spin := 0; ; spin++ {
+		w1 := metastate.PackedWord(w.Load())
+		if p := w1.Packed(); p.State() == metastate.StateWriteT {
+			if mem.TID(p.Attr()) == th.tid {
+				panic(fmt.Sprintf("stm: Snapshot2 of block %d inside thread %d's own write transaction", b, th.tid))
+			}
+			th.stats.ConflictWriter++
+			spinWait(spin, &th.rng)
+			continue
+		}
+		v1 = tm.dataw(a1).Load()
+		v2 = tm.dataw(a2).Load()
+		if metastate.PackedWord(w.Load()) == w1 {
+			return v1, v2, w1.Stamp()
+		}
+	}
+}
+
+// NoteCommit records one committed non-transactional operation — a
+// point-read composed of Snapshot2 calls — in the thread's statistics, so
+// stores built on the fast path keep Commits comparable with Txn counts.
+func (th *Thread) NoteCommit() {
+	th.stats.Commits++
+	th.stats.SnapshotCommits++
+}
+
+// Upsert2 is the point-write fast path: a complete single-block
+// claim-or-skip transaction in one call — the shape a hash-table insert or
+// blind update needs, and the host analog of the paper's flash release for
+// minimal write sets. It takes all T tokens on a1's block, re-reads the
+// guard word at a1 under the claim, and if that word equals k1 or zero
+// installs k1 at a1 and v2 at a2 and commits, stamping the drawn serial
+// into the release. Any other guard value means a concurrent claim
+// committed first: the untouched block is released with its stamp
+// unchanged and claimed is false so the caller can probe on.
+//
+// The calling thread must hold no other tokens — the call waits out
+// readers and writers instead of aborting, which is deadlock-free only
+// when this one block is the whole footprint. Calling it inside the
+// thread's own open transaction panics where detectable (the thread is
+// the identified holder).
+func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint64) {
+	tm := th.tm
+	b := uint32(a1) >> tm.shift
+	if uint32(a2)>>tm.shift != b {
+		spanPanic(a1, a2)
+	}
+	w := tm.metaw(b)
+	for spin := 0; ; spin++ {
+		old := metastate.PackedWord(w.Load())
+		p := old.Packed()
+		switch p.State() {
+		case metastate.StateAnon:
+			if uint32(p.Attr()) != 0 {
+				th.stats.ConflictReader++
+				spinWait(spin, &th.rng)
+				continue
+			}
+		case metastate.StateRead1, metastate.StateWriteT:
+			if mem.TID(p.Attr()) == th.tid {
+				panic(fmt.Sprintf("stm: Upsert2 of block %d inside thread %d's own transaction", b, th.tid))
+			}
+			if p.State() == metastate.StateWriteT {
+				th.stats.ConflictWriter++
+			} else {
+				th.stats.ConflictReader++
+			}
+			spinWait(spin, &th.rng)
+			continue
+		case metastate.StateOverflow:
+			th.stats.ConflictAnon++
+			spinWait(spin, &th.rng)
+			continue
+		}
+		np, _ := metastate.Pack(metastate.WriteT(th.tid))
+		if !w.CompareAndSwap(uint64(old), uint64(old.With(np))) {
+			continue
+		}
+		// All T tokens held: the guard read is committed state, and no other
+		// thread can transition the word, so plain stores release it.
+		switch g := tm.dataw(a1).Load(); g {
+		case 0:
+			tm.dataw(a1).Store(k1)
+		case k1:
+		default:
+			w.Store(uint64(old)) // nothing written: the stamp must not move
+			return false, 0
+		}
+		tm.dataw(a2).Store(v2)
+		serial = tm.serial.Add(1)
+		w.Store(uint64(metastate.MakeWord(metastate.PackedZero, serial)))
+		th.stats.Commits++
+		return true, serial
+	}
+}
+
+// spinLimit bounds how many CAS/conflict rounds one acquisition tries before
+// the attempt gives up and aborts (requester-side resolution).
+// upgradeSpinLimit is the much tighter bound for a read-to-write upgrade
+// blocked by other readers: the upgrader holds a token the others may be
+// waiting on, so it must stop blocking them quickly (see acquireWrite).
+const (
+	spinLimit        = 48
+	upgradeSpinLimit = 2
+)
+
+// acquireRead takes one token on block b: (0,-) -> (1,self); a second reader
+// fuses the identified reader into the anonymous count (1,X) -> (2,-);
+// further readers increment it. A writer, or an anonymous count at the
+// 14-bit packing limit, is a conflict.
+func (tx *Tx) acquireRead(b uint32) {
+	th := tx.th
+	w := th.tm.metaw(b)
+	for spin := 0; ; spin++ {
+		if th.doomed() {
+			tx.retry(&th.stats.DoomedAborts)
+		}
+		old := metastate.PackedWord(w.Load())
+		p := old.Packed()
+		var next metastate.Meta
+		switch p.State() {
+		case metastate.StateAnon:
+			if u := uint32(p.Attr()); u == 0 {
+				next = metastate.Read1(th.tid)
+			} else {
+				next = metastate.Anon(u + 1)
+			}
+		case metastate.StateRead1:
+			if mem.TID(p.Attr()) == th.tid {
+				panic(fmt.Sprintf("stm: thread %d re-acquiring its own read token on block %d", th.tid, b))
+			}
+			next = metastate.Anon(2)
+		case metastate.StateWriteT:
+			if mem.TID(p.Attr()) == th.tid {
+				panic(fmt.Sprintf("stm: thread %d read-acquiring its own written block %d", th.tid, b))
+			}
+			tx.conflict(mem.TID(p.Attr()), &th.stats.ConflictWriter, spin)
+			continue
+		case metastate.StateOverflow:
+			// The host never packs the overflow escape (readers are bounded
+			// by maxThreads « 2^14); treat it as an anonymous conflict.
+			tx.conflict(mem.NoTID, &th.stats.ConflictAnon, spin)
+			continue
+		}
+		np, over := metastate.Pack(next)
+		if over {
+			tx.conflict(mem.NoTID, &th.stats.ConflictAnon, spin)
+			continue
+		}
+		if w.CompareAndSwap(uint64(old), uint64(old.With(np))) {
+			return
+		}
+	}
+}
+
+// acquireWrite takes all T tokens on block b. haveRead says this transaction
+// already holds one read token on b; the claim then folds that token in
+// ((1,self) -> (T,self), or (1,-) -> (T,self) when the lone anonymous token
+// is provably ours) rather than double-counting it. Any other outstanding
+// reader or writer is a conflict.
+func (tx *Tx) acquireWrite(b uint32, haveRead bool) {
+	th := tx.th
+	w := th.tm.metaw(b)
+	for spin := 0; ; spin++ {
+		if th.doomed() {
+			tx.retry(&th.stats.DoomedAborts)
+		}
+		old := metastate.PackedWord(w.Load())
+		p := old.Packed()
+		switch p.State() {
+		case metastate.StateAnon:
+			u := uint32(p.Attr())
+			// Claimable when free, or when Sum is 1 and we hold a token —
+			// the lone anonymous token is then provably ours, and folding
+			// it in (rather than adding T on top) is the double-entry
+			// discipline.
+			if !(u == 0 || (u == 1 && haveRead)) {
+				// Upgrade herd guard: an upgrader blocked by other readers
+				// is itself holding a fused read token those readers (often
+				// fellow upgraders) are waiting on. Spinning here with the
+				// token held starves everyone, so give up almost at once —
+				// the abort returns our token and the attempt-level backoff
+				// serializes the herd.
+				if haveRead && spin >= upgradeSpinLimit {
+					tx.retry(&th.stats.ConflictAborts)
+				}
+				tx.conflict(mem.NoTID, &th.stats.ConflictReader, spin)
+				continue
+			}
+		case metastate.StateRead1:
+			if mem.TID(p.Attr()) != th.tid {
+				tx.conflict(mem.TID(p.Attr()), &th.stats.ConflictReader, spin)
+				continue
+			}
+			if !haveRead {
+				panic(fmt.Sprintf("stm: thread %d identified on block %d without a logged read", th.tid, b))
+			}
+		case metastate.StateWriteT:
+			if mem.TID(p.Attr()) == th.tid {
+				panic(fmt.Sprintf("stm: thread %d re-acquiring its own write token on block %d", th.tid, b))
+			}
+			tx.conflict(mem.TID(p.Attr()), &th.stats.ConflictWriter, spin)
+			continue
+		case metastate.StateOverflow:
+			tx.conflict(mem.NoTID, &th.stats.ConflictAnon, spin)
+			continue
+		}
+		np, _ := metastate.Pack(metastate.WriteT(th.tid))
+		if w.CompareAndSwap(uint64(old), uint64(old.With(np))) {
+			return
+		}
+	}
+}
+
+// conflict applies the requester-side resolution policy for one failed
+// acquisition round: count it, draw our birth ticket if this is the
+// transaction's first conflict, doom a younger identified holder, give up
+// after spinLimit rounds, otherwise yield briefly and re-examine.
+func (tx *Tx) conflict(enemy mem.TID, counter *uint64, spin int) {
+	th := tx.th
+	*counter++
+	if spin >= spinLimit {
+		tx.retry(&th.stats.ConflictAborts)
+	}
+	th.ensureBirth()
+	if enemy != mem.NoTID {
+		th.maybeDoom(enemy)
+	}
+	spinWait(spin, &th.rng)
+}
+
+// retry aborts the attempt (undo + release) and unwinds to Atomically.
+func (tx *Tx) retry(counter *uint64) {
+	*counter++
+	tx.abortAttempt()
+	panic(retrySignal{})
+}
+
+// commitAttempt is the fast path out of a successful attempt: flip the
+// status word (failing if an elder doomed us at the last moment), draw the
+// commit serial while every token is still held — the serialization point —
+// then release all tokens, stamping the serial into every written block so
+// snapshot readers can place the writes relative to their read serial.
+func (tx *Tx) commitAttempt() uint64 {
+	th := tx.th
+	if !th.status.CompareAndSwap(
+		th.attempt<<statusShift|stateActive,
+		th.attempt<<statusShift|stateIdle) {
+		tx.retry(&th.stats.DoomedAborts)
+	}
+	serial := th.tm.serial.Add(1)
+	tx.releaseAll(serial)
+	th.stats.Commits++
+	return serial
+}
+
+// abortAttempt rolls the attempt back: replay the undo log in reverse while
+// the write tokens are still held, then release every token. Written blocks
+// still get a fresh stamp — the restored bytes equal the pre-transaction
+// state, but a snapshot reader may have seen the block mid-write, and only
+// a stamp change tells it to re-read.
+func (tx *Tx) abortAttempt() {
+	th := tx.th
+	for i := tx.logs.nUndo - 1; i >= 0; i-- {
+		e := tx.logs.undoAt(i)
+		th.tm.dataw(e.addr).Store(e.old)
+	}
+	var stamp uint64
+	if tx.logs.nWrite > 0 {
+		stamp = th.tm.serial.Add(1)
+	}
+	tx.releaseAll(stamp)
+	th.stats.Aborts++
+}
+
+// releaseAll returns every token this attempt holds. Write blocks release
+// all T tokens in one transition ((T,self) -> (0,-)); read blocks decrement
+// the anonymous count or clear the identified-reader state. A read-log block
+// that was upgraded releases through its write entry only — the read token
+// was folded into the write claim, so decrementing it again would be the
+// double-entry violation the model checker hunts. Transactions whose whole
+// footprint stayed within the inline log arrays take the fast path (no heap
+// log to walk), the host analog of the paper's small-transaction
+// flash-clear release.
+func (tx *Tx) releaseAll(stamp uint64) {
+	th := tx.th
+	for i := 0; i < tx.logs.nWrite; i++ {
+		th.releaseWrite(tx.logs.writeAt(i), stamp)
+	}
+	for i := 0; i < tx.logs.nRead; i++ {
+		b := tx.logs.readAt(i)
+		if th.mark[b]>>markShift == th.attempt && th.mark[b]&markWrite != 0 {
+			continue // upgraded: released with the write set
+		}
+		th.releaseRead(b)
+	}
+	if tx.logs.inline() {
+		th.stats.FastReleases++
+	} else {
+		th.stats.SlowReleases++
+	}
+}
+
+// releaseWrite returns all T tokens of block b: (T,self) -> (0,-), stamping
+// the releasing transaction's serial into the word (the snapshot-mode
+// visibility fence). No other thread can transition a writer-held word, so
+// the CAS succeeds first try; the loop guards the invariant.
+func (th *Thread) releaseWrite(b uint32, stamp uint64) {
+	w := th.tm.metaw(b)
+	for {
+		old := metastate.PackedWord(w.Load())
+		p := old.Packed()
+		if p.State() != metastate.StateWriteT || mem.TID(p.Attr()) != th.tid {
+			panic(fmt.Sprintf("stm: thread %d releasing write token it does not hold on block %d (%#04x)", th.tid, b, uint16(p)))
+		}
+		if w.CompareAndSwap(uint64(old), uint64(metastate.MakeWord(metastate.PackedZero, stamp))) {
+			return
+		}
+	}
+}
+
+// releaseRead returns one token of block b. While we hold a read token the
+// word is either (1,self) — we stayed the identified reader — or an
+// anonymous count (u,-) that includes our token (fusion erases identity and
+// releases never re-identify, Table 2).
+func (th *Thread) releaseRead(b uint32) {
+	w := th.tm.metaw(b)
+	for {
+		old := metastate.PackedWord(w.Load())
+		p := old.Packed()
+		var next metastate.Meta
+		switch p.State() {
+		case metastate.StateRead1:
+			if mem.TID(p.Attr()) != th.tid {
+				panic(fmt.Sprintf("stm: thread %d releasing read token held by %d on block %d", th.tid, p.Attr(), b))
+			}
+			next = metastate.Zero
+		case metastate.StateAnon:
+			u := uint32(p.Attr())
+			if u == 0 {
+				panic(fmt.Sprintf("stm: thread %d releasing read token on empty block %d", th.tid, b))
+			}
+			next = metastate.Anon(u - 1)
+		case metastate.StateWriteT, metastate.StateOverflow:
+			panic(fmt.Sprintf("stm: thread %d releasing read token on block %d in state %d", th.tid, b, p.State()))
+		}
+		np, _ := metastate.Pack(next)
+		if w.CompareAndSwap(uint64(old), uint64(old.With(np))) {
+			return
+		}
+	}
+}
+
+// spinWait delays one acquisition round: exponential in the round number
+// with jitter, implemented as scheduler yields so the holder runs even at
+// GOMAXPROCS=1.
+func spinWait(spin int, rng *uint64) {
+	if spin > 5 {
+		spin = 5
+	}
+	n := uint64(1)<<spin + nextRand(rng)&3
+	for i := uint64(0); i < n; i++ {
+		runtime.Gosched()
+	}
+}
