@@ -15,7 +15,7 @@ BENCH_PARALLEL ?= 0
 STM_OPS ?= 60000
 STM_REPS ?= 9
 
-.PHONY: verify lint race bench breakdown explore microbench profile stmbench clean-cache
+.PHONY: verify lint race bench breakdown explore microbench benchgate profile stmbench clean-cache
 
 verify:
 	$(GO) build ./...
@@ -66,6 +66,25 @@ explore:
 microbench:
 	{ $(GO) test -run '^$$' -bench 'Probe|Commit|AbortUnroll' -benchmem -count 3 ./internal/core ; \
 	  $(GO) test -run '^$$' -bench 'SmallSweep' -benchmem -count 3 . ; } | tee BENCH_micro.txt
+
+# Units whose regressions fail the benchgate; override for cross-host runs
+# (CI gates only the host-independent allocation metrics, at a strict
+# tolerance — they are exact counts):
+#   make benchgate BENCHGATE_UNITS=B/op,allocs/op BENCHGATE_TOL=0.20
+# The local default gates wall clock too, so the tolerance must absorb
+# shared-VM noise: nanosecond-scale benchmarks here swing ±40% between
+# quiet and noisy windows with no code change.
+BENCHGATE_UNITS ?= ns/op,B/op,allocs/op
+BENCHGATE_TOL ?= 0.50
+
+# Re-run the microbenchmarks and fail if any metric regressed beyond
+# BENCHGATE_TOL against the committed BENCH_micro.txt baseline
+# (cmd/benchgate, a dependency-free benchstat).
+benchgate:
+	{ $(GO) test -run '^$$' -bench 'Probe|Commit|AbortUnroll' -benchmem -count 3 ./internal/core ; \
+	  $(GO) test -run '^$$' -bench 'SmallSweep' -benchmem -count 3 . ; } > /tmp/benchgate-new.txt
+	$(GO) run ./cmd/benchgate -old BENCH_micro.txt -new /tmp/benchgate-new.txt \
+		-tolerance $(BENCHGATE_TOL) -gate '$(BENCHGATE_UNITS)'
 
 # CPU + heap profiles of the hottest protocol path (software-release
 # commits). Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

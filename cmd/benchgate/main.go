@@ -1,0 +1,226 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when a benchmark regressed beyond a tolerance — a dependency-free
+// benchstat for CI gating.
+//
+//	benchgate -old BENCH_micro.txt -new /tmp/bench.txt -tolerance 0.20
+//
+// Each metric (ns/op, B/op, allocs/op) is summarized per benchmark by the
+// median across repetitions (robust against a single noisy rep at the
+// typical -count 3). A benchmark regresses when its new median exceeds the
+// old median by more than the tolerance; a baseline benchmark missing from
+// the new file is also a failure (a silently dropped gate is a regression
+// in coverage, not an improvement). New benchmarks absent from the
+// baseline are reported but never fail.
+//
+// Exit status: 0 when every shared benchmark is within tolerance, 1 on any
+// regression or parse failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics are the per-rep measurements benchgate understands, keyed by the
+// benchmark output unit.
+var units = []string{"ns/op", "B/op", "allocs/op"}
+
+// sample accumulates one benchmark's repetitions, per unit.
+type sample map[string][]float64
+
+// parseBench reads `go test -bench` output: every line starting with
+// "Benchmark" contributes its unit/value pairs. Lines that do not parse as
+// benchmark results (headers, PASS/ok trailers) are skipped.
+func parseBench(path string) (map[string]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, vals, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := out[name]
+		if s == nil {
+			s = make(sample)
+			out[name] = s
+		}
+		for unit, v := range vals {
+			s[unit] = append(s[unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts one result line:
+//
+//	BenchmarkProbe/miss  54393426  21.53 ns/op  0 B/op  0 allocs/op
+func parseLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	// fields[1] is the iteration count; value/unit pairs follow.
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	vals := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		vals[fields[i+1]] = v
+	}
+	if len(vals) == 0 {
+		return "", nil, false
+	}
+	return fields[0], vals, true
+}
+
+// median summarizes one unit's repetitions.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare gates new against old, writing a report line per benchmark/unit.
+// It returns the regression count. Units absent from gated are still
+// reported but never count as regressions (CI gates only the
+// host-independent allocation metrics; ns/op across different machines is
+// weather, not signal).
+func compare(old, new map[string]sample, tol float64, gated map[string]bool, w *strings.Builder) int {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		ns, ok := new[name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %s: in baseline but not in new run\n", name)
+			regressions++
+			continue
+		}
+		os := old[name]
+		for _, unit := range units {
+			ovs, nvs := os[unit], ns[unit]
+			if len(ovs) == 0 || len(nvs) == 0 {
+				continue
+			}
+			om, nm := median(ovs), median(nvs)
+			status, delta := verdict(om, nm, tol)
+			if status == "WORSE" {
+				if gated[unit] {
+					regressions++
+				} else {
+					status = "WORSE*" // beyond tolerance but not gated
+				}
+			}
+			fmt.Fprintf(w, "%-8s %s %s: %s -> %s (%+.1f%%)\n",
+				status, name, unit, format(om, unit), format(nm, unit), delta*100)
+		}
+	}
+	// New benchmarks are informational only.
+	extra := make([]string, 0)
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "NEW      %s: not in baseline\n", name)
+	}
+	return regressions
+}
+
+// verdict classifies one metric change against the tolerance.
+func verdict(om, nm, tol float64) (string, float64) {
+	var delta float64
+	switch {
+	case om == 0 && nm == 0:
+		return "SAME", 0
+	case om == 0:
+		// From zero: any appearance of cost is a regression (allocs/op
+		// going 0 -> n is exactly the case this guards).
+		return "WORSE", 1
+	default:
+		delta = nm/om - 1
+	}
+	switch {
+	case delta > tol:
+		return "WORSE", delta
+	case delta < -tol:
+		return "BETTER", delta
+	default:
+		return "SAME", delta
+	}
+}
+
+// format renders a value in its unit's natural precision.
+func format(v float64, unit string) string {
+	if unit == "ns/op" && v < 1000 {
+		return fmt.Sprintf("%.1f%s", v, unit)
+	}
+	return fmt.Sprintf("%.0f%s", v, unit)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_micro.txt", "baseline benchmark output")
+	newPath := flag.String("new", "", "fresh benchmark output to gate")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+	gateList := flag.String("gate", "ns/op,B/op,allocs/op",
+		"comma-separated units whose regressions fail the gate; others are report-only")
+	flag.Parse()
+	gated := make(map[string]bool)
+	for _, u := range strings.Split(*gateList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			gated[u] = true
+		}
+	}
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	old, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fresh, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	var report strings.Builder
+	regressions := compare(old, fresh, *tol, gated, &report)
+	fmt.Print(report.String())
+	if regressions > 0 {
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% tolerance\n", regressions, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all benchmarks within %.0f%% of baseline\n", *tol*100)
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseline = `goos: linux
+pkg: tokentm/internal/core
+BenchmarkProbe/miss  	54393426	        21.53 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProbe/miss  	51447789	        22.89 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProbe/miss  	54599262	        22.71 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSmallSweep 	      12	  95627579 ns/op	28623036 B/op	   31746 allocs/op
+BenchmarkSmallSweep 	      12	 101526727 ns/op	28628976 B/op	   31746 allocs/op
+BenchmarkSmallSweep 	      13	  93740958 ns/op	28637116 B/op	   31747 allocs/op
+PASS
+ok  	tokentm/internal/core	22.450s
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, oldText, newText string) (int, string) {
+	t.Helper()
+	old, err := parseBench(writeTemp(t, "old.txt", oldText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := parseBench(writeTemp(t, "new.txt", newText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	gated := map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+	return compare(old, fresh, 0.20, gated, &report), report.String()
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, vals, ok := parseLine("BenchmarkProbe/miss  \t54393426\t        21.53 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok || name != "BenchmarkProbe/miss" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if vals["ns/op"] != 21.53 || vals["allocs/op"] != 0 {
+		t.Fatalf("values: %v", vals)
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Fatal("PASS line parsed as a result")
+	}
+	if _, _, ok := parseLine("ok  \ttokentm\t3.870s"); ok {
+		t.Fatal("trailer line parsed as a result")
+	}
+}
+
+func TestWithinToleranceIsClean(t *testing.T) {
+	// 10% slower sweep: inside the 20% gate.
+	fresh := strings.ReplaceAll(baseline, "95627579", "105190336")
+	regressions, report := run(t, baseline, fresh)
+	if regressions != 0 {
+		t.Fatalf("clean run flagged %d regressions:\n%s", regressions, report)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	fresh := `BenchmarkProbe/miss  	54393426	        31.53 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSmallSweep 	      12	  95627579 ns/op	28623036 B/op	   31746 allocs/op
+`
+	regressions, report := run(t, baseline, fresh)
+	if regressions != 1 {
+		t.Fatalf("want 1 regression (Probe/miss ns/op +~40%%), got %d:\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "WORSE    BenchmarkProbe/miss ns/op") {
+		t.Fatalf("report missing the regression line:\n%s", report)
+	}
+}
+
+func TestZeroAllocBaselineGuard(t *testing.T) {
+	// allocs/op going 0 -> 2 must fail even though the ratio is undefined.
+	// All three reps move so the median moves too.
+	fresh := strings.ReplaceAll(baseline,
+		"       0 B/op\t       0 allocs/op",
+		"      64 B/op\t       2 allocs/op")
+	regressions, report := run(t, baseline, fresh)
+	if regressions == 0 {
+		t.Fatalf("0 -> 2 allocs/op passed the gate:\n%s", report)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	fresh := `BenchmarkProbe/miss  	54393426	        21.53 ns/op	       0 B/op	       0 allocs/op
+`
+	regressions, report := run(t, baseline, fresh)
+	if regressions == 0 {
+		t.Fatal("dropped baseline benchmark passed the gate")
+	}
+	if !strings.Contains(report, "MISSING  BenchmarkSmallSweep") {
+		t.Fatalf("report missing the MISSING line:\n%s", report)
+	}
+}
+
+func TestUngatedUnitIsReportOnly(t *testing.T) {
+	// A large ns/op regression with ns/op excluded from the gate (the CI
+	// configuration: wall clock differs across hosts) must report WORSE*
+	// but exit clean.
+	old, err := parseBench(writeTemp(t, "old.txt", baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := strings.NewReplacer(
+		"21.53 ns/op", "43.06 ns/op",
+		"22.89 ns/op", "45.78 ns/op",
+		"22.71 ns/op", "45.42 ns/op",
+	).Replace(baseline)
+	fresh, err := parseBench(writeTemp(t, "new.txt", doubled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	gated := map[string]bool{"B/op": true, "allocs/op": true}
+	if n := compare(old, fresh, 0.20, gated, &report); n != 0 {
+		t.Fatalf("ungated ns/op regression failed the gate (%d):\n%s", n, report.String())
+	}
+	if !strings.Contains(report.String(), "WORSE*   BenchmarkProbe/miss ns/op") {
+		t.Fatalf("report missing the WORSE* advisory line:\n%s", report.String())
+	}
+}
+
+func TestImprovementIsNotARegression(t *testing.T) {
+	// 10x faster sweep with fewer allocations: BETTER, exit clean.
+	fresh := strings.ReplaceAll(baseline, "  95627579 ns/op\t28623036 B/op\t   31746 allocs/op",
+		"   9562757 ns/op\t  286230 B/op\t     317 allocs/op")
+	fresh = strings.ReplaceAll(fresh, " 101526727 ns/op\t28628976 B/op\t   31746 allocs/op",
+		"   9562757 ns/op\t  286230 B/op\t     317 allocs/op")
+	fresh = strings.ReplaceAll(fresh, "  93740958 ns/op\t28637116 B/op\t   31747 allocs/op",
+		"   9562757 ns/op\t  286230 B/op\t     317 allocs/op")
+	regressions, report := run(t, baseline, fresh)
+	if regressions != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BETTER") {
+		t.Fatalf("report missing BETTER line:\n%s", report)
+	}
+}

@@ -105,9 +105,14 @@ func main() {
 			fast++
 		}
 	}
-	fmt.Printf("read set:  avg %.1f max %.0f blocks\n", rs.Mean(), rs.Max())
-	fmt.Printf("write set: avg %.1f max %.0f blocks\n", ws.Mean(), ws.Max())
-	fmt.Printf("duration:  avg %.0f max %.0f cycles\n\n", dur.Mean(), dur.Max())
+	if rs.N() > 0 {
+		// Max is NaN on an empty sample; a run with zero commits prints the
+		// count above and skips the per-commit shape lines.
+		fmt.Printf("read set:  avg %.1f max %.0f blocks\n", rs.Mean(), rs.Max())
+		fmt.Printf("write set: avg %.1f max %.0f blocks\n", ws.Mean(), ws.Max())
+		fmt.Printf("duration:  avg %.0f max %.0f cycles\n", dur.Mean(), dur.Max())
+	}
+	fmt.Println()
 
 	m := d.Metrics
 	fmt.Printf("conflicts=%d (read-vs-writer %d, write-vs-readers %d, write-vs-writer %d, non-transactional %d)\n",

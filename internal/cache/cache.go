@@ -55,11 +55,21 @@ type Line struct {
 
 // Cache is a set-associative cache. It tracks residency, replacement and
 // per-line metabits; data values live in the simulator's global store.
+//
+// Sets materialize lazily on first touch: the modeled geometry (set count,
+// associativity, replacement) is exactly that of the eager layout, but a
+// run only pays host memory — and the zeroing of it — for the sets its
+// footprint actually reaches. The 8 MB L2's line array dominated a
+// machine's construction cost; small sweep runs touch a few percent of it.
 type Cache struct {
 	name    string
 	sets    [][]Line
 	setMask uint64
 	tick    uint64
+	assoc   int
+	// arena is the current allocation chunk; newSet carves fixed-capacity
+	// set slices from it, so *Line pointers handed out stay valid forever.
+	arena []Line
 }
 
 // Config sizes a cache.
@@ -82,22 +92,40 @@ func New(cfg Config) *Cache {
 	if nsets == 0 || nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d must be a power of two", cfg.Name, nsets))
 	}
-	sets := make([][]Line, nsets)
-	backing := make([]Line, nlines)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	return &Cache{
+		name:    cfg.Name,
+		sets:    make([][]Line, nsets),
+		setMask: uint64(nsets - 1),
+		assoc:   cfg.Assoc,
 	}
-	return &Cache{name: cfg.Name, sets: sets, setMask: uint64(nsets - 1)}
 }
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return len(c.sets) }
 
 // Assoc returns the associativity.
-func (c *Cache) Assoc() int { return len(c.sets[0]) }
+func (c *Cache) Assoc() int { return c.assoc }
 
 func (c *Cache) set(b mem.BlockAddr) []Line {
-	return c.sets[uint64(b)&c.setMask]
+	idx := uint64(b) & c.setMask
+	if s := c.sets[idx]; s != nil {
+		return s
+	}
+	return c.newSet(idx)
+}
+
+// chunkLines is the arena granularity; a multiple of every associativity.
+const chunkLines = 512
+
+// newSet materializes one set's lines on first touch.
+func (c *Cache) newSet(idx uint64) []Line {
+	if len(c.arena) < c.assoc {
+		c.arena = make([]Line, chunkLines)
+	}
+	s := c.arena[:c.assoc:c.assoc]
+	c.arena = c.arena[c.assoc:]
+	c.sets[idx] = s
+	return s
 }
 
 // Lookup returns the line holding block b, or nil. It refreshes LRU state.

@@ -101,17 +101,32 @@ type MemSys struct {
 	L1s      []*cache.Cache
 	l2banks  []*cache.Cache
 	noc      *interconnect.NoC
-	dir      map[mem.BlockAddr]*dirEntry
+	// dir is the directory, paged by block-address upper bits: entries live
+	// inline in fixed pages instead of one heap allocation per block, and
+	// workload regions are dense so a page amortizes its map insert across
+	// dirPageBlocks neighbors. lastKey/lastPage short-circuit the page
+	// lookup for the repeated same-block probes within one access.
+	dir      map[mem.BlockAddr]*dirPage
+	lastKey  mem.BlockAddr
+	lastPage *dirPage
 	listener Listener
 	Stats    Stats
 }
+
+// dirPageBlocks is the directory page size in blocks (power of two).
+const dirPageBlocks = 128
+
+// dirPage holds the entries for one aligned group of dirPageBlocks blocks.
+// Untouched entries read as {sharers: 0, owner: -1}, exactly what the
+// map-based directory materialized lazily.
+type dirPage [dirPageBlocks]dirEntry
 
 // NewMemSys builds the memory system with the paper's cache geometry.
 func NewMemSys(numCores int) *MemSys {
 	m := &MemSys{
 		NumCores: numCores,
 		noc:      interconnect.New(),
-		dir:      make(map[mem.BlockAddr]*dirEntry),
+		dir:      make(map[mem.BlockAddr]*dirPage),
 		listener: nopListener{},
 	}
 	for i := 0; i < numCores; i++ {
@@ -127,20 +142,34 @@ func NewMemSys(numCores int) *MemSys {
 func (m *MemSys) SetListener(l Listener) { m.listener = l }
 
 func (m *MemSys) entry(b mem.BlockAddr) *dirEntry {
-	e, ok := m.dir[b]
-	if !ok {
-		e = &dirEntry{owner: -1}
-		m.dir[b] = e
+	key := b / dirPageBlocks
+	p := m.lastPage
+	if p == nil || m.lastKey != key {
+		var ok bool
+		p, ok = m.dir[key]
+		if !ok {
+			p = new(dirPage)
+			for i := range p {
+				p[i].owner = -1
+			}
+			m.dir[key] = p
+		}
+		m.lastKey, m.lastPage = key, p
 	}
-	return e
+	return &p[b%dirPageBlocks]
 }
 
 // SharerMask returns the bitmask of cores currently holding a copy of b
 // (bit c set means core c has a copy). This is the allocation-free form of
 // Sharers, for latency-bearing probe loops.
 func (m *MemSys) SharerMask(b mem.BlockAddr) uint32 {
-	if e, ok := m.dir[b]; ok {
-		return e.sharers
+	key := b / dirPageBlocks
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage[b%dirPageBlocks].sharers
+	}
+	if p, ok := m.dir[key]; ok {
+		m.lastKey, m.lastPage = key, p
+		return p[b%dirPageBlocks].sharers
 	}
 	return 0
 }

@@ -12,20 +12,23 @@ import (
 // lazily materializes empty entries, which must not distinguish states) and
 // every cache's content. Stats are measurement, not state, and are excluded.
 func (m *MemSys) FingerprintTo(h *statehash.Hash) {
-	blocks := make([]mem.BlockAddr, 0, len(m.dir))
-	for b := range m.dir {
-		blocks = append(blocks, b)
+	keys := make([]mem.BlockAddr, 0, len(m.dir))
+	for k := range m.dir {
+		keys = append(keys, k)
 	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	h.Mark('D')
-	for _, b := range blocks {
-		e := m.dir[b]
-		if e.sharers == 0 && e.owner < 0 {
-			continue // lazily materialized empty entry: not state
+	for _, k := range keys {
+		p := m.dir[k]
+		for i := range p {
+			e := &p[i]
+			if e.sharers == 0 && e.owner < 0 {
+				continue // untouched or emptied entry: not state
+			}
+			h.U64(uint64(k*dirPageBlocks) + uint64(i))
+			h.U32(e.sharers)
+			h.Int(int(e.owner))
 		}
-		h.U64(uint64(b))
-		h.U32(e.sharers)
-		h.Int(int(e.owner))
 	}
 	h.Mark('d')
 	for i, c := range m.L1s {

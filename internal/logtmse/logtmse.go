@@ -27,8 +27,11 @@ type LogTMSE struct {
 	ms    *coherence.MemSys
 	store *mem.Store
 
-	byTID   map[mem.TID]*htm.Thread
-	threads []*htm.Thread // registered threads, sorted by TID
+	byTID map[mem.TID]*htm.Thread
+	// threads holds registered threads sorted by TID, each with its
+	// signatures alongside: checkConflict walks this per access, and a map
+	// lookup per foreign thread was measurable.
+	threads []threadEntry
 	sigs    map[mem.TID]*threadSigs
 
 	// Metrics aggregates evaluation counters.
@@ -38,6 +41,11 @@ type LogTMSE struct {
 type threadSigs struct {
 	read  sig.Signature
 	write sig.Signature
+}
+
+type threadEntry struct {
+	th *htm.Thread
+	sg *threadSigs
 }
 
 var _ htm.System = (*LogTMSE)(nil)
@@ -67,19 +75,21 @@ func (s *LogTMSE) Stats() *htm.Metrics { return &s.Metrics }
 // stays sorted by TID so conflict checks walk foreign signatures in a fixed
 // order regardless of registration order or map layout.
 func (s *LogTMSE) Register(th *htm.Thread) {
-	i := sort.Search(len(s.threads), func(i int) bool { return s.threads[i].TID >= th.TID })
-	if i < len(s.threads) && s.threads[i].TID == th.TID {
-		s.threads[i] = th
-	} else {
-		s.threads = append(s.threads, nil)
-		copy(s.threads[i+1:], s.threads[i:])
-		s.threads[i] = th
-	}
-	s.byTID[th.TID] = th
-	s.sigs[th.TID] = &threadSigs{
+	sg := &threadSigs{
 		read:  sig.New(s.kind, int64(th.TID)*7919+1),
 		write: sig.New(s.kind, int64(th.TID)*104729+2),
 	}
+	e := threadEntry{th: th, sg: sg}
+	i := sort.Search(len(s.threads), func(i int) bool { return s.threads[i].th.TID >= th.TID })
+	if i < len(s.threads) && s.threads[i].th.TID == th.TID {
+		s.threads[i] = e
+	} else {
+		s.threads = append(s.threads, threadEntry{})
+		copy(s.threads[i+1:], s.threads[i:])
+		s.threads[i] = e
+	}
+	s.byTID[th.TID] = th
+	s.sigs[th.TID] = sg
 }
 
 // RunningOn is a no-op: signatures are per-thread state and virtualize
@@ -103,11 +113,11 @@ func (s *LogTMSE) Begin(th *htm.Thread, now mem.Cycle) mem.Cycle {
 func (s *LogTMSE) checkConflict(self mem.TID, b mem.BlockAddr, isWrite bool) (enemies []*htm.Xact, kind htm.ConflictKind, falsePositive bool) {
 	real := false
 	writerHit := false
-	for _, th := range s.threads {
+	for _, e := range s.threads {
+		th, sg := e.th, e.sg
 		if th.TID == self || !th.InXact() {
 			continue
 		}
-		sg := s.sigs[th.TID]
 		hit := sg.write.Test(b)
 		if hit {
 			writerHit = true

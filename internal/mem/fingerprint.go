@@ -6,18 +6,24 @@ import (
 	"tokentm/internal/statehash"
 )
 
-// FingerprintTo mixes the store's content in ascending address order.
-// StoreWord deletes zero words, so presence is canonical and two stores with
-// equal readable content always hash equal.
+// FingerprintTo mixes the store's content in ascending address order. Only
+// non-zero words are state (zero is the implicit value of untouched memory),
+// so two stores with equal readable content always hash equal.
 func (s *Store) FingerprintTo(h *statehash.Hash) {
-	addrs := make([]Addr, 0, len(s.words))
-	for a := range s.words {
-		addrs = append(addrs, a)
+	keys := make([]Addr, 0, len(s.pages))
+	for k := range s.pages {
+		keys = append(keys, k)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	h.Int(len(addrs))
-	for _, a := range addrs {
-		h.U64(uint64(a))
-		h.U64(s.words[a])
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h.Int(s.nonzero)
+	for _, k := range keys {
+		p := s.pages[k]
+		for i, v := range p {
+			if v == 0 {
+				continue
+			}
+			h.U64(uint64((k*storePageWords + Addr(i)) * WordBytes))
+			h.U64(v)
+		}
 	}
 }

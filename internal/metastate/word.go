@@ -1,5 +1,7 @@
 package metastate
 
+import "fmt"
+
 // PackedWord is the host-side view of a block's packed metastate: the 16
 // Table-4a metabits widened to a 64-bit word so real goroutines can update
 // them with sync/atomic compare-and-swap. The simulator keeps using the bare
@@ -26,6 +28,41 @@ type PackedWord uint64
 
 // packedWordShift is the bit offset of the stamp field.
 const packedWordShift = 16
+
+// StampBits is the width of the writer-release serial field.
+const StampBits = 64 - packedWordShift
+
+// MaxStamp is the largest representable writer-release serial. A serial past
+// it would truncate silently in MakeWord, wrap the per-block stamp backwards,
+// and let a stale snapshot validate (`Stamp() > rv` can never fire once the
+// stamp has wrapped below rv) — so serial clocks must fail loudly on
+// approach via CheckStamp instead of ever reaching it.
+const MaxStamp = 1<<StampBits - 1
+
+// StampGuardMargin is how far before MaxStamp CheckStamp starts failing:
+// wide enough that every in-flight transaction of any plausible thread count
+// still gets a distinct non-wrapping serial after the first refusal.
+const StampGuardMargin = 1 << 20
+
+// StampOverflowError reports a writer-release serial that is about to
+// overflow the 48-bit stamp field.
+type StampOverflowError struct {
+	Stamp uint64 // the serial that tripped the guard
+}
+
+func (e *StampOverflowError) Error() string {
+	return fmt.Sprintf("metastate: commit serial %d within %d of the %d-bit stamp wrap (max %d); stale snapshots would validate past the wrap",
+		e.Stamp, uint64(MaxStamp)-e.Stamp, StampBits, uint64(MaxStamp))
+}
+
+// CheckStamp validates a serial about to be stamped into a PackedWord,
+// returning a typed error once it approaches the wrap.
+func CheckStamp(stamp uint64) error {
+	if stamp >= MaxStamp-StampGuardMargin {
+		return &StampOverflowError{Stamp: stamp}
+	}
+	return nil
+}
 
 // MakeWord assembles a PackedWord from metabits and a stamp. Writer
 // releases use it to publish their commit (or abort) serial.

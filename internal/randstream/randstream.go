@@ -1,0 +1,109 @@
+// Package randstream interns seeded math/rand draw sequences.
+//
+// Simulation components draw from rand.New(rand.NewSource(seed)) with seeds
+// derived deterministically from thread IDs, so a sweep re-seeds the same
+// few hundred sources for every grid cell — and math/rand's lagged-Fibonacci
+// seeding walks ~20k LCG steps per source, which showed up as ~8% of a small
+// sweep. New returns a *rand.Rand whose draw sequence is bit-identical to
+// rand.New(rand.NewSource(seed)) but serves the first memoCap values from a
+// process-wide memo shared by every consumer of that seed, so the seeding
+// cost is paid once per seed per process.
+//
+// Consumers that outlive the memo (full-scale runs draw millions of values)
+// switch to a private source seeded and fast-forwarded once, then stream
+// with zero sharing overhead.
+package randstream
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// memoCap bounds the shared memo per seed (8 bytes per value). Small-sweep
+// threads draw well under this; beyond it the per-consumer fallback applies.
+const memoCap = 1 << 15
+
+// extendBatch is how many values an exhausted consumer appends per lock
+// acquisition, bounding lock traffic for concurrent same-seed consumers.
+const extendBatch = 64
+
+// stream is the shared per-seed state: the live source and the memoized
+// prefix of its output. vals is append-only under mu; published prefixes are
+// immutable, so consumers read their snapshots lock-free.
+type stream struct {
+	seed int64
+	mu   sync.Mutex
+	src  rand.Source64
+	vals []uint64
+}
+
+var streams sync.Map // int64 seed -> *stream
+
+// New returns a fresh *rand.Rand positioned at the start of seed's sequence.
+// Its draws are bit-identical to rand.New(rand.NewSource(seed)).
+func New(seed int64) *rand.Rand {
+	v, ok := streams.Load(seed)
+	if !ok {
+		v, _ = streams.LoadOrStore(seed, &stream{
+			seed: seed,
+			src:  rand.NewSource(seed).(rand.Source64),
+		})
+	}
+	return rand.New(&source{s: v.(*stream)})
+}
+
+// source replays one interned stream. It implements rand.Source64; Seed is
+// unsupported because the stream is shared.
+type source struct {
+	s    *stream
+	vals []uint64 // snapshot of s.vals; its prefix never mutates
+	pos  int
+	priv rand.Source64 // continuation beyond memoCap, nil until needed
+}
+
+// Uint64 returns the next value of the seed's sequence.
+func (c *source) Uint64() uint64 {
+	if c.priv != nil {
+		return c.priv.Uint64()
+	}
+	if c.pos < len(c.vals) {
+		v := c.vals[c.pos]
+		c.pos++
+		return v
+	}
+	return c.slow()
+}
+
+// slow refreshes the snapshot, extending the shared memo if this consumer is
+// at its frontier, or falls off the memo onto a private continuation.
+func (c *source) slow() uint64 {
+	s := c.s
+	s.mu.Lock()
+	for c.pos >= len(s.vals) {
+		if len(s.vals) >= memoCap {
+			s.mu.Unlock()
+			// Replay the seed privately past the consumed prefix. The
+			// one-time fast-forward only happens on draws past memoCap,
+			// where seeding cost is amortized anyway.
+			c.priv = rand.NewSource(s.seed).(rand.Source64)
+			for i := 0; i < c.pos; i++ {
+				c.priv.Uint64()
+			}
+			return c.priv.Uint64()
+		}
+		for i := 0; i < extendBatch && len(s.vals) < memoCap; i++ {
+			s.vals = append(s.vals, s.src.Uint64())
+		}
+	}
+	c.vals = s.vals
+	s.mu.Unlock()
+	v := c.vals[c.pos]
+	c.pos++
+	return v
+}
+
+// Int63 matches math/rand's rngSource: one Uint64 step, masked to 63 bits.
+func (c *source) Int63() int64 { return int64(c.Uint64() & (1<<63 - 1)) }
+
+// Seed is not supported: the underlying stream is shared across consumers.
+func (c *source) Seed(int64) { panic("randstream: shared streams cannot be re-seeded") }

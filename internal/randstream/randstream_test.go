@@ -1,0 +1,100 @@
+package randstream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMatchesMathRand pins the whole point: a randstream Rand must be
+// draw-for-draw identical to rand.New(rand.NewSource(seed)) under a mixed
+// call pattern, including across the memoCap boundary onto the private
+// continuation.
+func TestMatchesMathRand(t *testing.T) {
+	const seed = 424242
+	ref := rand.New(rand.NewSource(seed))
+	got := New(seed)
+	n := memoCap + 500
+	if testing.Short() {
+		n = 2000
+	}
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			if g, w := got.Uint64(), ref.Uint64(); g != w {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, g, w)
+			}
+		case 1:
+			if g, w := got.Int63(), ref.Int63(); g != w {
+				t.Fatalf("draw %d: Int63 %d != %d", i, g, w)
+			}
+		case 2:
+			if g, w := got.Intn(977), ref.Intn(977); g != w {
+				t.Fatalf("draw %d: Intn %d != %d", i, g, w)
+			}
+		case 3:
+			if g, w := got.Float64(), ref.Float64(); g != w {
+				t.Fatalf("draw %d: Float64 %g != %g", i, g, w)
+			}
+		case 4:
+			if g, w := got.Int31n(13), ref.Int31n(13); g != w {
+				t.Fatalf("draw %d: Int31n %d != %d", i, g, w)
+			}
+		}
+	}
+}
+
+// TestConsumersAreIndependent: two Rands on one seed each see the sequence
+// from the start, regardless of interleaving.
+func TestConsumersAreIndependent(t *testing.T) {
+	a, b := New(77), New(77)
+	var as, bs []uint64
+	for i := 0; i < 100; i++ {
+		as = append(as, a.Uint64())
+	}
+	for i := 0; i < 100; i++ {
+		bs = append(bs, b.Uint64())
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("draw %d: consumers diverge: %d != %d", i, as[i], bs[i])
+		}
+	}
+}
+
+// TestConcurrentSameSeed exercises the shared-memo locking under the race
+// detector: concurrent consumers of one seed all see the reference sequence.
+func TestConcurrentSameSeed(t *testing.T) {
+	const seed = 909
+	ref := rand.New(rand.NewSource(seed))
+	want := make([]uint64, 5000)
+	for i := range want {
+		want[i] = ref.Uint64()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := New(seed)
+			for i := range want {
+				if v := r.Uint64(); v != want[i] {
+					t.Errorf("draw %d: %d != %d", i, v, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSeedPanics: re-seeding a shared stream must fail loudly.
+func TestSeedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Seed should panic")
+		}
+	}()
+	var c source
+	c.Seed(1)
+}

@@ -13,6 +13,7 @@ package sig
 import (
 	"math/bits"
 	"math/rand"
+	"sync"
 
 	"tokentm/internal/mem"
 )
@@ -38,9 +39,17 @@ type Signature interface {
 // H3 is one H₃-class universal hash function: each input bit of the block
 // address selects a precomputed random row that is XORed into the output.
 // H3 functions are popular in hardware because they reduce to an XOR tree.
+//
+// Hash evaluates byte-sliced: tbl[k][v] precomputes the XOR of the rows
+// selected by byte value v at byte position k, so a 64-bit input costs 8
+// table lookups instead of a loop over its set bits. The output is
+// bit-for-bit identical to the row-per-bit definition (XOR is associative;
+// the tables just reassociate it), which the sig tests pin against the
+// reference loop.
 type H3 struct {
 	rows [64]uint32
 	mask uint32
+	tbl  [8][256]uint32
 }
 
 // NewH3 builds an H3 function producing log2(m)-bit outputs, with rows drawn
@@ -50,11 +59,33 @@ func NewH3(m int, rng *rand.Rand) *H3 {
 	for i := range h.rows {
 		h.rows[i] = rng.Uint32() & h.mask
 	}
+	// Byte-slice tables by subset DP: v's XOR is (v minus its lowest set
+	// bit)'s XOR plus that bit's row.
+	for k := 0; k < 8; k++ {
+		for v := 1; v < 256; v++ {
+			h.tbl[k][v] = h.tbl[k][v&(v-1)] ^ h.rows[k*8+bits.TrailingZeros64(uint64(v))]
+		}
+	}
 	return h
 }
 
 // Hash maps a block address to a bit index in [0, m).
 func (h *H3) Hash(b mem.BlockAddr) uint32 {
+	x := uint64(b)
+	out := h.tbl[0][x&0xff] ^
+		h.tbl[1][x>>8&0xff] ^
+		h.tbl[2][x>>16&0xff] ^
+		h.tbl[3][x>>24&0xff] ^
+		h.tbl[4][x>>32&0xff] ^
+		h.tbl[5][x>>40&0xff] ^
+		h.tbl[6][x>>48&0xff] ^
+		h.tbl[7][x>>56&0xff]
+	return out & h.mask
+}
+
+// hashRef is the row-per-bit reference implementation, kept for the
+// equivalence test.
+func (h *H3) hashRef(b mem.BlockAddr) uint32 {
 	x := uint64(b)
 	var out uint32
 	for x != 0 {
@@ -76,21 +107,43 @@ type Bloom struct {
 
 var _ Signature = (*Bloom)(nil)
 
+// h3Key identifies one deterministic hash-function family: NewBloom's rows
+// are a pure function of (nbits, k, seed), so families can be shared.
+type h3Key struct {
+	nbits, k int
+	seed     int64
+}
+
+// h3Cache interns hash families across Bloom instances. Seeds are derived
+// from thread IDs, so a sweep re-creates the same few families for every
+// machine; H3s are immutable after construction and safe to share.
+var h3Cache sync.Map // h3Key -> []*H3
+
+func hashFamily(nbits, k int, seed int64) []*H3 {
+	key := h3Key{nbits, k, seed}
+	if v, ok := h3Cache.Load(key); ok {
+		return v.([]*H3)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hs := make([]*H3, k)
+	for i := range hs {
+		hs[i] = NewH3(nbits, rng)
+	}
+	v, _ := h3Cache.LoadOrStore(key, hs)
+	return v.([]*H3)
+}
+
 // NewBloom returns a Bloom signature with nbits bits (a power of two) and k
 // H3 hash functions seeded from seed.
 func NewBloom(nbits, k int, seed int64) *Bloom {
 	if nbits <= 0 || nbits&(nbits-1) != 0 {
 		panic("sig: nbits must be a positive power of two")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	s := &Bloom{
-		words: make([]uint64, nbits/64),
-		nbits: nbits,
+	return &Bloom{
+		words:  make([]uint64, nbits/64),
+		nbits:  nbits,
+		hashes: hashFamily(nbits, k, seed),
 	}
-	for i := 0; i < k; i++ {
-		s.hashes = append(s.hashes, NewH3(nbits, rng))
-	}
-	return s
 }
 
 // Add inserts block b.
@@ -107,6 +160,11 @@ func (s *Bloom) Add(b mem.BlockAddr) {
 
 // Test reports whether b may be in the set.
 func (s *Bloom) Test(b mem.BlockAddr) bool {
+	if s.nset == 0 {
+		// Empty filter: no probe can hit. Conflict checks walk every
+		// in-flight thread's signatures, most of which are empty.
+		return false
+	}
 	for _, h := range s.hashes {
 		i := h.Hash(b)
 		if s.words[i/64]&(1<<(i%64)) == 0 {

@@ -133,6 +133,51 @@ func TestH3Linearity(t *testing.T) {
 	}
 }
 
+// TestH3ByteSlicedMatchesReference pins the table-driven Hash to the
+// row-per-bit definition: the byte-slice tables are an optimization and must
+// never change a single hash value (signature contents are modeled behavior).
+func TestH3ByteSlicedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewH3(DefaultBits, rng)
+	f := func(b uint64) bool {
+		return h.Hash(mem.BlockAddr(b)) == h.hashRef(mem.BlockAddr(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, b := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+		if h.Hash(mem.BlockAddr(b)) != h.hashRef(mem.BlockAddr(b)) {
+			t.Fatalf("byte-sliced hash diverges at %#x", b)
+		}
+	}
+}
+
+// TestHashFamilyInterned checks that NewBloom reuses one hash family per
+// (nbits, k, seed) and that interning does not change the drawn rows.
+func TestHashFamilyInterned(t *testing.T) {
+	a := NewBloom(DefaultBits, 4, 21)
+	b := NewBloom(DefaultBits, 4, 21)
+	if len(a.hashes) != 4 || len(b.hashes) != 4 {
+		t.Fatalf("want 4 hashes, got %d and %d", len(a.hashes), len(b.hashes))
+	}
+	for i := range a.hashes {
+		if a.hashes[i] != b.hashes[i] {
+			t.Fatal("same (nbits, k, seed) must share one interned hash family")
+		}
+	}
+	// The interned rows must match a fresh draw from the same seed.
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 4; i++ {
+		fresh := NewH3(DefaultBits, rng)
+		if fresh.rows != a.hashes[i].rows {
+			t.Fatalf("interned hash %d rows diverge from a fresh draw", i)
+		}
+	}
+	if c := NewBloom(DefaultBits, 2, 21); c.hashes[0] == a.hashes[0] {
+		t.Fatal("different k must not share a family: draw sequences differ")
+	}
+}
+
 func TestPerfectIsExact(t *testing.T) {
 	s := NewPerfect()
 	s.Add(1)

@@ -45,6 +45,19 @@ func TestAllocFreeAnnotations(t *testing.T) {
 				panic("MinTimePicker picked the wrong core")
 			}
 		}},
+		{"Machine.refreshReady", func() {
+			m.refreshReady(m.cores[0])
+			m.refreshReady(m.cores[1])
+		}},
+		{"Machine.pickReadyCore", func() {
+			m.readyKeys[0] = 9<<m.readyShift | 0
+			m.readyKeys[1] = 3<<m.readyShift | 1
+			if c := m.pickReadyCore(); c == nil || c.id != 1 {
+				panic("pickReadyCore picked the wrong core")
+			}
+			m.readyKeys[0] = notReady
+			m.readyKeys[1] = notReady
+		}},
 	}
 
 	names := make([]string, 0, len(entries))

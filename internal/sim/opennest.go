@@ -66,6 +66,7 @@ func (tx *Tx) Open(fn func(*Tx), compensate func(*Tx)) {
 
 	// Switch the core to the auxiliary identity: flash-OR preserves the
 	// parent's tokens as R'/W' bits (revoking only its fast release).
+	th.flushWork()
 	lat := th.m.HTM.ContextSwitch(th.core.id, parent, aux)
 	tc.charge(attr.CtxSwitch, lat)
 	th.yield(opResult{lat: lat})
@@ -89,6 +90,9 @@ func (tx *Tx) Open(fn func(*Tx), compensate func(*Tx)) {
 		th.yield(opResult{lat: beginLat})
 
 		committed := tc.runOpenBody(fn, parent)
+		// Deferred trailing Work flushes before the commit/abort HTM call
+		// (see Atomic).
+		th.flushWork()
 		if committed && !x.AbortRequested {
 			lat, _ := th.m.HTM.Commit(aux)
 			aux.Xact = nil

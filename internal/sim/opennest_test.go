@@ -128,13 +128,7 @@ func TestOpenNestingSelfConflictDetected(t *testing.T) {
 	m := New(Config{Cores: 1, Seed: 1})
 	m.SetHTM(core.New(m.Mem, m.Store))
 	const a mem.Addr = 0x6000
-	panicked := make(chan interface{}, 1)
 	m.Spawn(func(tc *Ctx) {
-		defer func() {
-			panicked <- recover()
-			// Let the machine finish: the thread reports completion.
-			tc.th.res <- opResult{finished: true}
-		}()
 		tc.Atomic(func(tx *Tx) {
 			tx.Store(a, 1)
 			tx.Open(func(in *Tx) {
@@ -142,18 +136,19 @@ func TestOpenNestingSelfConflictDetected(t *testing.T) {
 			}, nil)
 		})
 	})
+	// The thread body's panic is forwarded out of Run (by either engine).
+	var p interface{}
 	func() {
-		defer func() { recover() }() // machine may panic on odd thread exit
+		defer func() { p = recover() }()
 		m.Run()
 	}()
-	select {
-	case p := <-panicked:
-		if p == nil {
-			t.Fatal("expected a self-conflict panic")
-		}
-	default:
-		t.Fatal("self-conflict not detected")
+	if p == nil {
+		t.Fatal("expected a self-conflict panic")
 	}
+	if p != errOpenSelfConflict {
+		t.Fatalf("panicked with %v, want errOpenSelfConflict", p)
+	}
+	m.Kill()
 }
 
 // TestRetryOutsideTransactionPanics guards the API.

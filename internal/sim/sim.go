@@ -13,7 +13,10 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+
+	"tokentm/internal/randstream"
 
 	"tokentm/internal/attr"
 	"tokentm/internal/coherence"
@@ -44,6 +47,12 @@ type Config struct {
 	// RetryLimit is how many stalls a transaction tolerates against an
 	// older enemy before self-aborting.
 	RetryLimit int
+	// LegacyStepper forces Run onto the legacy per-turn scheduler loop
+	// instead of the event engine (events.go). The two produce identical
+	// schedules (see TestSchedulerEquivalence); the flag exists so the
+	// equivalence test can drive both, and will be removed once the event
+	// engine has survived a release.
+	LegacyStepper bool
 }
 
 // DefaultConfig is the paper's machine: 32 cores.
@@ -108,6 +117,13 @@ type Thread struct {
 	state   threadState
 	wakeAt  mem.Cycle
 	readyAt mem.Cycle
+	// deferred accumulates Ctx.Work cycles not yet applied to the core
+	// clock (event engine only); flushed by flushWork before the thread's
+	// next shared operation.
+	deferred mem.Cycle
+	// xactScratch is the thread's reusable top-level transaction record;
+	// see Ctx.Atomic.
+	xactScratch *htm.Xact
 
 	// Commits collects this thread's committed transactions.
 	Commits []htm.CommitRecord
@@ -146,6 +162,18 @@ type Machine struct {
 	rng     *rand.Rand
 	live    int
 	killed  bool
+	// eventMode is true while runEvent owns the machine: yields are settled
+	// inline on the yielding thread's goroutine and the baton passes thread
+	// to thread (events.go) instead of through the grant/res handshake.
+	eventMode bool
+	// done carries the event engine's terminal signal back to Run: nil for
+	// normal completion, or the panic value a thread goroutine died with.
+	done chan any
+	// readyKeys caches each core's next event time for the event engine's
+	// picker, packed as time<<readyShift|id (notReady when the core has
+	// nothing to run); maintained by refreshReady.
+	readyKeys  []uint64
+	readyShift uint
 	// rngDraws counts backoff-jitter draws; part of the state fingerprint so
 	// two schedules that consumed the rng differently never merge.
 	rngDraws uint64
@@ -179,12 +207,15 @@ func New(cfg Config) *Machine {
 		Mem:    coherence.NewMemSys(cfg.Cores),
 		Store:  mem.NewStore(),
 		locks:  make(map[int]*lockState),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    randstream.New(cfg.Seed),
 		picker: MinTimePicker{},
 	}
 	m.choiceScratch = make([]CoreChoice, 0, cfg.Cores)
+	m.readyShift = uint(bits.Len(uint(cfg.Cores - 1)))
+	m.readyKeys = make([]uint64, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &coreState{id: i})
+		m.readyKeys[i] = notReady
 	}
 	m.breakdowns = make([]attr.Breakdown, cfg.Cores)
 	return m
@@ -284,8 +315,22 @@ func (th *Thread) run() {
 			return // Kill: exit without reporting a turn
 		}
 		// A panic escaped the thread body (protocol invariant failure,
-		// user-code bug). Forward it to the scheduler goroutine, which
-		// re-panics it there — recoverable by whoever called Run.
+		// user-code bug). Forward it to whoever called Run — via the
+		// scheduler goroutine (legacy) or the done channel (event engine),
+		// after the same bookkeeping the legacy settle would perform.
+		if m := th.m; m.eventMode {
+			if th.state != tsFinished {
+				th.core.time += th.deferred
+				th.deferred = 0
+				th.state = tsFinished
+				if th.core.cur == th {
+					th.core.cur = nil
+				}
+				m.live--
+			}
+			m.done <- r
+			return
+		}
 		th.res <- opResult{finished: true, crash: r}
 	}()
 	<-th.grant
@@ -297,11 +342,15 @@ func (th *Thread) run() {
 	if tc.xactDepth != 0 {
 		panic(fmt.Sprintf("sim: thread %d finished inside a transaction", th.H.ID))
 	}
-	th.res <- opResult{finished: true}
+	th.yield(opResult{finished: true})
 }
 
 // yield hands the turn back to the scheduler and waits for the next grant.
 func (th *Thread) yield(r opResult) {
+	if th.m.eventMode {
+		th.m.yieldEvent(th, r)
+		return
+	}
 	th.res <- r
 	if !r.finished {
 		<-th.grant
@@ -312,10 +361,17 @@ func (th *Thread) yield(r opResult) {
 }
 
 // Run executes until every thread finishes, returning the makespan: the
-// largest core clock (total parallel execution time).
+// largest core clock (total parallel execution time). Machines on the default
+// min-time schedule run on the event engine (events.go); preemptive machines
+// (Quantum > 0), custom pickers and the LegacyStepper flag use the legacy
+// per-turn loop. Both produce identical schedules.
 func (m *Machine) Run() mem.Cycle {
 	if m.HTM == nil {
 		panic("sim: SetHTM before Run")
+	}
+	_, defaultPicker := m.picker.(MinTimePicker)
+	if !m.cfg.LegacyStepper && m.cfg.Quantum == 0 && defaultPicker {
+		return m.runEvent()
 	}
 	for m.live > 0 {
 		choices := m.RunnableCores()
@@ -613,6 +669,11 @@ func (m *Machine) doUnlock(c *coreState, th *Thread, id int) {
 		}
 	}
 	nc.runq = append(nc.runq, next)
+	if m.eventMode {
+		// The handoff made next's core schedulable (or sooner); the event
+		// engine's cached ready time must see it.
+		m.refreshReady(nc)
+	}
 }
 
 // ThreadReport is one live thread's symbolic scheduler state at deadlock.

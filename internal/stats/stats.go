@@ -21,11 +21,16 @@ type Sample struct {
 	max  float64
 	sum  float64
 	vals []float64
+	// sorted caches a sorted copy of vals for order statistics; Add
+	// invalidates it, so report paths asking for several percentiles sort
+	// once instead of once per call.
+	sorted []float64
 }
 
 // Add records one observation.
 func (s *Sample) Add(x float64) {
 	s.vals = append(s.vals, x)
+	s.sorted = s.sorted[:0]
 	s.n++
 	if s.n == 1 {
 		s.min, s.max = x, x
@@ -52,11 +57,22 @@ func (s *Sample) Sum() float64 { return s.sum }
 // Mean returns the arithmetic mean (0 with no observations).
 func (s *Sample) Mean() float64 { return s.mean }
 
-// Min returns the smallest observation.
-func (s *Sample) Min() float64 { return s.min }
+// Min returns the smallest observation, or NaN with no observations — a
+// real 0 observation and an empty sample must stay distinguishable.
+func (s *Sample) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest observation.
-func (s *Sample) Max() float64 { return s.max }
+// Max returns the largest observation, or NaN with no observations.
+func (s *Sample) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
 // Var returns the unbiased sample variance.
 func (s *Sample) Var() float64 {
@@ -91,8 +107,17 @@ func (s *Sample) CI95() float64 {
 
 // Percentile returns the p-th percentile (0..100) of the observations with
 // linear interpolation; 0 with no observations, the single observation
-// with one.
-func (s *Sample) Percentile(p float64) float64 { return Percentile(s.vals, p) }
+// with one. The sorted view is cached across calls and invalidated by Add.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if len(s.sorted) != len(s.vals) {
+		s.sorted = append(s.sorted[:0], s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	return percentileSorted(s.sorted, p)
+}
 
 // Median returns the 50th percentile of the observations.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
@@ -110,6 +135,11 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted interpolates the p-th percentile of an ascending slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -147,3 +147,40 @@ func TestSampleMedianAndPercentile(t *testing.T) {
 		t.Fatalf("moments disturbed: mean=%f n=%d", even.Mean(), even.N())
 	}
 }
+
+// TestEmptySampleMinMaxNaN pins the empty-sample contract: Min and Max
+// return NaN (not a fake 0 observation) until the first Add.
+func TestEmptySampleMinMaxNaN(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty sample: min=%f max=%f, want NaN/NaN", s.Min(), s.Max())
+	}
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("after Add(0): min=%f max=%f, want 0/0", s.Min(), s.Max())
+	}
+}
+
+// TestPercentileCacheInvalidation checks the sorted cache: percentiles stay
+// correct when Adds and Percentile calls interleave.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5} {
+		s.Add(x)
+	}
+	if got := s.Median(); got != 5 {
+		t.Fatalf("median of {9,1,5} = %f", got)
+	}
+	// The cache must be invalidated by this Add, and vals must be unharmed
+	// by the earlier in-place sort of the cache.
+	s.Add(3)
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 after Add = %f", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("p100 after Add = %f", got)
+	}
+	if got := s.Median(); got != 4 {
+		t.Fatalf("median of {9,1,5,3} = %f", got)
+	}
+}

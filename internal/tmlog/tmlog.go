@@ -63,10 +63,11 @@ type Log struct {
 }
 
 // New returns an empty log whose simulated storage begins at base. Record
-// storage is preallocated so a typical transaction's appends never grow the
-// slice; Reset keeps whatever capacity the log has reached.
+// storage starts small — many workloads' write sets are a handful of blocks
+// — and Reset keeps whatever capacity the log grows to, so steady-state
+// appends never reallocate.
 func New(base mem.Addr) *Log {
-	return &Log{base: base, records: make([]Record, 0, 64)}
+	return &Log{base: base, records: make([]Record, 0, 8)}
 }
 
 // Base returns the log's base address in simulated memory.

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"tokentm/internal/mem"
+	"tokentm/internal/randstream"
 	"tokentm/internal/sim"
 )
 
@@ -250,7 +251,7 @@ func (s Spec) Build(m *sim.Machine, threads int, scale float64, seed int64) {
 	ws := newSetSizer(s.AvgWrite, s.MaxWrite, s.TailP)
 
 	for t := 0; t < threads; t++ {
-		rng := rand.New(rand.NewSource(seed*7919 + int64(t)*104729 + 1))
+		rng := randstream.New(seed*7919 + int64(t)*104729 + 1)
 		m.Spawn(func(tc *sim.Ctx) {
 			for i := 0; i < perThread; i++ {
 				nr, rTail := rs.draw(rng)

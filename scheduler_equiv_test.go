@@ -1,0 +1,95 @@
+package tokentm
+
+// Scheduler equivalence: the event engine (internal/sim/events.go) must
+// reproduce the legacy per-turn scheduler loop exactly — same commit
+// journal, same abort stream, same cycle attribution, same per-core clocks —
+// on every variant and every workload. The legacy loop stays behind
+// Config.LegacyStepper for exactly one release; this test (and the flag, and
+// the loop) are deleted together once the event engine has baked.
+
+import (
+	"reflect"
+	"testing"
+
+	"tokentm/internal/workload"
+)
+
+// equivScale keeps the doubled full-grid sweep quick while still exercising
+// contention, aborts, stalls, evictions and deferred-work flushing.
+const equivScale = 0.002
+
+// runWithEngine is runWorkload with an explicit engine choice.
+func runWithEngine(spec workload.Spec, v Variant, seed int64, legacy bool) (RunDetail, *System) {
+	sys := New(Config{Variant: v, Cores: evalCores, Seed: seed, LegacyStepper: legacy})
+	spec.Build(sys.M, evalCores, equivScale, seed)
+	cycles := sys.Run()
+	d := RunDetail{
+		Workload:  spec.Name,
+		Variant:   v,
+		Cycles:    cycles,
+		Commits:   sys.M.Commits,
+		Metrics:   *sys.HTM.Stats(),
+		Breakdown: sys.M.BreakdownTotal(),
+		CoreTimes: sys.M.CoreTimes(),
+		AbortRecs: sys.M.AbortRecs,
+	}
+	if tok := sys.TokenTM(); tok != nil {
+		d.FastCommits = tok.FastCommits
+		d.SlowCommits = tok.SlowCommits
+	}
+	return d, sys
+}
+
+func TestSchedulerEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, spec := range workload.Specs() {
+		for _, v := range Variants() {
+			for _, seed := range seeds {
+				spec, v, seed := spec, v, seed
+				t.Run(spec.Name+"/"+string(v)+"/"+string('0'+rune(seed)), func(t *testing.T) {
+					legacy, sysL := runWithEngine(spec, v, seed, true)
+					event, sysE := runWithEngine(spec, v, seed, false)
+
+					if legacy.Cycles != event.Cycles {
+						t.Errorf("makespan: legacy %d, event %d", legacy.Cycles, event.Cycles)
+					}
+					if !reflect.DeepEqual(legacy.Metrics, event.Metrics) {
+						t.Errorf("metrics diverge:\n legacy: %+v\n event:  %+v", legacy.Metrics, event.Metrics)
+					}
+					if !reflect.DeepEqual(legacy.Commits, event.Commits) {
+						t.Errorf("commit journals diverge (%d vs %d records)", len(legacy.Commits), len(event.Commits))
+					}
+					if !reflect.DeepEqual(legacy.AbortRecs, event.AbortRecs) {
+						t.Errorf("abort streams diverge (%d vs %d records)", len(legacy.AbortRecs), len(event.AbortRecs))
+					}
+					if !reflect.DeepEqual(legacy.Breakdown, event.Breakdown) {
+						t.Errorf("cycle attribution diverges:\n legacy: %+v\n event:  %+v", legacy.Breakdown, event.Breakdown)
+					}
+					if !reflect.DeepEqual(legacy.CoreTimes, event.CoreTimes) {
+						for c := range legacy.CoreTimes {
+							if legacy.CoreTimes[c] != event.CoreTimes[c] {
+								t.Errorf("core %d clock: legacy %d, event %d", c, legacy.CoreTimes[c], event.CoreTimes[c])
+							}
+						}
+					}
+					if legacy.FastCommits != event.FastCommits || legacy.SlowCommits != event.SlowCommits {
+						t.Errorf("commit kinds: fast %d/%d slow %d/%d",
+							legacy.FastCommits, event.FastCommits, legacy.SlowCommits, event.SlowCommits)
+					}
+					// Both engines must also uphold the conservation
+					// invariant independently — equality alone could hide a
+					// shared accounting hole.
+					if err := sysL.M.CheckConservation(); err != nil {
+						t.Errorf("legacy engine: %v", err)
+					}
+					if err := sysE.M.CheckConservation(); err != nil {
+						t.Errorf("event engine: %v", err)
+					}
+				})
+			}
+		}
+	}
+}

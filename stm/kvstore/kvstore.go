@@ -23,7 +23,10 @@
 // simulator.
 package kvstore
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Tx is the operation set available inside a transaction. Get observes the
 // transaction's own earlier Puts (read-your-writes).
@@ -88,6 +91,9 @@ var Backends = []string{"stm", "rwmutex", "tl2-occ"}
 // New builds the named backend with the given slot capacity (rounded up to
 // a power of two) and worker bound.
 func New(name string, capacity, workers int) (Store, error) {
+	if capacity > maxCapacity {
+		return nil, fmt.Errorf("kvstore: capacity %d exceeds the maximum slot count %d", capacity, maxCapacity)
+	}
 	switch name {
 	case "stm":
 		return NewSTM(capacity, workers), nil
@@ -100,8 +106,16 @@ func New(name string, capacity, workers int) (Store, error) {
 	}
 }
 
-// ceilPow2 rounds n up to a power of two (min 1).
+// maxCapacity is the largest representable power-of-two slot count: one more
+// doubling would overflow int and ceilPow2's `p <<= 1` used to spin forever.
+const maxCapacity = 1 << (bits.UintSize - 2)
+
+// ceilPow2 rounds n up to a power of two (min 1). Requests past the largest
+// power-of-two int fail loudly instead of looping on shift overflow.
 func ceilPow2(n int) int {
+	if n > maxCapacity {
+		panic(fmt.Sprintf("kvstore: capacity %d exceeds the maximum slot count %d", n, maxCapacity))
+	}
 	p := 1
 	for p < n {
 		p <<= 1

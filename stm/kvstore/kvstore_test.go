@@ -290,3 +290,36 @@ func TestUnknownBackend(t *testing.T) {
 		t.Fatal("unknown backend accepted")
 	}
 }
+
+// TestCeilPow2Boundary pins the shift-overflow guard: rounding stays exact
+// through the largest power-of-two int, and one past it fails loudly instead
+// of looping forever on `p <<= 1` overflow.
+func TestCeilPow2Boundary(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8},
+		{maxCapacity - 1, maxCapacity},
+		{maxCapacity, maxCapacity},
+	}
+	for _, c := range cases {
+		if got := ceilPow2(c.in); got != c.want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ceilPow2(maxCapacity+1) did not panic")
+		}
+	}()
+	ceilPow2(maxCapacity + 1)
+}
+
+// TestNewRejectsAbsurdCapacity checks the constructor surfaces the guard as
+// an error instead of a panic.
+func TestNewRejectsAbsurdCapacity(t *testing.T) {
+	for _, name := range Backends {
+		if _, err := New(name, maxCapacity+1, 1); err == nil {
+			t.Errorf("New(%q, maxCapacity+1, 1) accepted an unbuildable capacity", name)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+
+	"tokentm/internal/metastate"
+)
+
+// TestStampWrapGuard forges a serial clock just under the 48-bit stamp wrap
+// and checks that the next writer release fails loudly with the typed
+// overflow error instead of stamping a wrapped (tiny) serial that stale
+// snapshots would validate against.
+func TestStampWrapGuard(t *testing.T) {
+	tm := New(16, 8, 2)
+	th := tm.Thread(0)
+
+	// Just under the guard: commits still succeed and stamp monotonically.
+	tm.serial.Store(metastate.MaxStamp - metastate.StampGuardMargin - 3)
+	serial, err := th.Atomically(func(tx *Tx) error {
+		tx.Store(0, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(metastate.MaxStamp - metastate.StampGuardMargin - 2); serial != want {
+		t.Fatalf("near-wrap commit serial = %d, want %d", serial, want)
+	}
+	// The stamp actually landed (not truncated) on the written block.
+	if got := metastate.PackedWord(tm.meta[0].Load()).Stamp(); got != serial {
+		t.Fatalf("stamped %d, want %d", got, serial)
+	}
+
+	// At the guard: the commit must panic with the typed error rather than
+	// wrap. The write tokens stay claimed on the failing block — the process
+	// is told to stop, not to limp on.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("commit at the stamp guard did not fail")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v is not an error", r)
+		}
+		var so *metastate.StampOverflowError
+		if !errors.As(err, &so) {
+			t.Fatalf("panic %v is not a *metastate.StampOverflowError", err)
+		}
+		if so.Stamp < metastate.MaxStamp-metastate.StampGuardMargin {
+			t.Fatalf("guard tripped early at serial %d", so.Stamp)
+		}
+	}()
+	tm.serial.Store(metastate.MaxStamp - metastate.StampGuardMargin - 1)
+	th2 := tm.Thread(1)
+	_, _ = th2.Atomically(func(tx *Tx) error {
+		tx.Store(8, 2)
+		return nil
+	})
+}
+
+// TestCheckStampBoundary pins the guard threshold with forged near-wrap
+// values on both sides.
+func TestCheckStampBoundary(t *testing.T) {
+	if err := metastate.CheckStamp(metastate.MaxStamp - metastate.StampGuardMargin - 1); err != nil {
+		t.Fatalf("serial below the guard rejected: %v", err)
+	}
+	for _, s := range []uint64{
+		metastate.MaxStamp - metastate.StampGuardMargin,
+		metastate.MaxStamp,
+		metastate.MaxStamp + 1,
+	} {
+		err := metastate.CheckStamp(s)
+		var so *metastate.StampOverflowError
+		if !errors.As(err, &so) {
+			t.Fatalf("CheckStamp(%d) = %v, want *StampOverflowError", s, err)
+		}
+	}
+	// The wrap CheckStamp exists to prevent: MakeWord silently truncates.
+	w := metastate.MakeWord(metastate.PackedZero, metastate.MaxStamp+1)
+	if w.Stamp() != 0 {
+		t.Fatalf("MakeWord(MaxStamp+1).Stamp() = %d; truncation contract changed", w.Stamp())
+	}
+}

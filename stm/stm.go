@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"tokentm/internal/mem"
+	"tokentm/internal/metastate"
 )
 
 // Addr indexes a 64-bit word of transactional memory.
@@ -124,6 +125,18 @@ func (tm *TM) NumWords() int { return len(tm.words) }
 
 // metaw returns block b's packed token word.
 func (tm *TM) metaw(b uint32) *atomic.Uint64 { return &tm.meta[b] }
+
+// nextSerial draws the next commit serial, failing loudly (typed
+// *metastate.StampOverflowError panic) as the 48-bit writer-release stamp
+// field approaches its wrap — a wrapped stamp would validate stale
+// snapshots silently, so no serial past the guard is ever stamped.
+func (tm *TM) nextSerial() uint64 {
+	s := tm.serial.Add(1)
+	if err := metastate.CheckStamp(s); err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // dataw returns the cell holding data word a.
 func (tm *TM) dataw(a Addr) *atomic.Uint64 { return &tm.words[a] }

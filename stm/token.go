@@ -333,7 +333,7 @@ func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint
 			return false, 0
 		}
 		tm.dataw(a2).Store(v2)
-		serial = tm.serial.Add(1)
+		serial = tm.nextSerial()
 		w.Store(uint64(metastate.MakeWord(metastate.PackedZero, serial)))
 		th.stats.Commits++
 		return true, serial
@@ -494,7 +494,7 @@ func (tx *Tx) commitAttempt() uint64 {
 		th.attempt<<statusShift|stateIdle) {
 		tx.retry(&th.stats.DoomedAborts)
 	}
-	serial := th.tm.serial.Add(1)
+	serial := th.tm.nextSerial()
 	tx.releaseAll(serial)
 	th.stats.Commits++
 	return serial
@@ -513,7 +513,7 @@ func (tx *Tx) abortAttempt() {
 	}
 	var stamp uint64
 	if tx.logs.nWrite > 0 {
-		stamp = th.tm.serial.Add(1)
+		stamp = th.tm.nextSerial()
 	}
 	tx.releaseAll(stamp)
 	th.stats.Aborts++
