@@ -27,7 +27,8 @@ verify:
 	@echo "PASS: mutation smoke (seeded protocol bug detected by explorer)"
 
 # Static gates: go vet, gofmt, and the tokentm analyzer suite
-# (maporder, wallclock, allocfree, exhaustive — see internal/lint).
+# (maporder, wallclock, allocfree with its interprocedural closure,
+# exhaustive, atomicfield, logorder — see internal/lint).
 lint:
 	$(GO) vet ./...
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi

@@ -1,8 +1,9 @@
 // Command tokentm-lint is the multichecker for the tokentm static-analysis
-// suite (internal/lint): it loads the requested packages from source and
-// runs the maporder, wallclock, allocfree and exhaustive analyzers, honoring
-// //lint:ignore directives. `make lint` runs it together with go vet over
-// the whole module.
+// suite (internal/lint): it loads the requested packages from source,
+// collects module-wide facts, and runs the maporder, wallclock, allocfree,
+// exhaustive, atomicfield and logorder analyzers, honoring //lint:ignore
+// directives. `make lint` runs it together with go vet over the whole
+// module.
 //
 // Usage:
 //
@@ -59,8 +60,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Phase 1: load everything, so fact collection sees the whole module
+	// (atomic-field usage and the allocfree call graph are cross-package).
 	loader := lint.NewLoader()
-	findings := 0
+	var loaded []*lint.Package
 	for _, lp := range pkgs {
 		if len(lp.GoFiles) == 0 {
 			continue
@@ -70,7 +73,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tokentm-lint:", err)
 			os.Exit(2)
 		}
-		for _, d := range lint.Run(pkg, analyzers) {
+		loaded = append(loaded, pkg)
+	}
+	facts := lint.CollectFacts(loaded)
+
+	// Phase 2: run the analyzers package by package against the shared
+	// fact index.
+	findings := 0
+	for _, pkg := range loaded {
+		for _, d := range lint.RunWithFacts(pkg, analyzers, facts) {
 			pos := loader.Fset().Position(d.Pos)
 			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
 			findings++

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"tokentm/internal/lint/analysis"
 )
@@ -43,14 +44,83 @@ var AllocFree = &analysis.Analyzer{
 // allocation-free.
 const AllocFreeDirective = "//tokentm:allocfree"
 
+// allocFreeCallWhitelist names same-module callees the interprocedural
+// closure walk trusts without descending: leaf calls whose allocating
+// construct is known to sit on a terminal path the intra-procedural rules
+// cannot see from the caller. Each entry carries its justification.
+var allocFreeCallWhitelist = map[string]string{
+	"tokentm/internal/metastate.CheckStamp":      "constructs *StampOverflowError only when the 48-bit stamp space is exhausted; every caller panics on a non-nil return, so the steady state never allocates",
+	"(*tokentm/internal/cache.Cache).newSet":     "first-touch lazy materialization of one cache set from an arena chunk; amortized to zero once the working set is touched, which the AllocsPerRun tables prove",
+	"(*tokentm/internal/mem.Store).StoreWord":    "first-touch lazy page materialization (new(storePage) once per 4KiB page); steady-state stores hit the page cache, which the AllocsPerRun tables prove",
+	"(*tokentm/internal/coherence.MemSys).entry": "first-touch lazy materialization of one directory page (new(dirPage) once per dirPageBlocks); steady-state lookups hit the one-entry page cache, which the AllocsPerRun tables prove",
+}
+
 func runAllocFree(pass *analysis.Pass) error {
 	for _, fd := range enclosingFuncs(pass.Files) {
 		if !isAllocFreeAnnotated(fd) {
 			continue
 		}
 		checkAllocFreeFunc(pass, fd)
+		checkAllocFreeClosure(pass, fd)
 	}
 	return nil
+}
+
+// checkAllocFreeClosure follows the same-module call graph out of the
+// annotated function fd (facts.go computes per-function callees and alloc
+// sites for the whole module) and reports any reachable allocating
+// construct in an unannotated callee. Annotated callees are trusted here —
+// they are checked at their own declaration — and so are whitelisted
+// leaves and calls that do not resolve statically (interface methods, func
+// values) or resolve outside the loaded package set.
+func checkAllocFreeClosure(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if pass.Facts == nil {
+		return
+	}
+	root, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	rootFact := pass.Facts.Funcs[funcKey(root)]
+	if rootFact == nil {
+		return
+	}
+	visited := map[string]bool{funcKey(root): true}
+	for _, callee := range rootFact.Callees {
+		if path, site := findAllocPath(pass.Facts, callee.Name, visited, 6); site != nil {
+			pass.Reportf(callee.Pos,
+				"call in allocfree function %s reaches an allocating construct: %s (%s at %s)",
+				fd.Name.Name, strings.Join(path, " -> "), site.What,
+				pass.Fset.Position(site.Pos))
+		}
+	}
+}
+
+// findAllocPath walks the callee closure from key and returns the call
+// chain to the first allocating unannotated function, or nil. visited
+// persists across sibling calls of one root so each offending function is
+// reported through at most one chain.
+func findAllocPath(facts *analysis.Facts, key string, visited map[string]bool, depth int) ([]string, *analysis.AllocSite) {
+	if depth == 0 || visited[key] {
+		return nil, nil
+	}
+	visited[key] = true
+	if _, ok := allocFreeCallWhitelist[key]; ok {
+		return nil, nil
+	}
+	fact := facts.Funcs[key]
+	if fact == nil || fact.AllocFree {
+		return nil, nil
+	}
+	if len(fact.AllocSites) > 0 {
+		return []string{key}, &fact.AllocSites[0]
+	}
+	for _, callee := range fact.Callees {
+		if path, site := findAllocPath(facts, callee.Name, visited, depth-1); site != nil {
+			return append([]string{key}, path...), site
+		}
+	}
+	return nil, nil
 }
 
 func isAllocFreeAnnotated(fd *ast.FuncDecl) bool {
@@ -67,17 +137,26 @@ func isAllocFreeAnnotated(fd *ast.FuncDecl) bool {
 }
 
 func checkAllocFreeFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	c := &allocChecker{pass: pass, fd: fd}
+	c := newAllocChecker(pass.TypesInfo, fd, pass.Reportf)
+	ast.Inspect(fd.Body, c.visit)
+}
+
+// newAllocChecker prepares a checker over fd's body. The checker is
+// decoupled from analysis.Pass so fact collection (facts.go) can run it in
+// collect mode over every function of the module, not just annotated ones.
+func newAllocChecker(info *types.Info, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) *allocChecker {
+	c := &allocChecker{info: info, fd: fd, report: report}
 	c.collectAllowedRoots()
 	c.collectVarInits()
 	c.collectPanicRanges()
 	c.collectAddressedLits()
-	ast.Inspect(fd.Body, c.visit)
+	return c
 }
 
 type allocChecker struct {
-	pass *allocPass
-	fd   *ast.FuncDecl
+	info   *types.Info
+	fd     *ast.FuncDecl
+	report func(token.Pos, string, ...any)
 	// allowed are objects whose storage belongs to the caller: parameters,
 	// receivers, named results.
 	allowed map[types.Object]bool
@@ -91,10 +170,6 @@ type allocChecker struct {
 	addressed map[*ast.CompositeLit]bool
 }
 
-// allocPass is the subset of analysis.Pass the checker uses (an alias keeps
-// the field list above readable).
-type allocPass = analysis.Pass
-
 func (c *allocChecker) collectAllowedRoots() {
 	c.allowed = make(map[types.Object]bool)
 	addFields := func(fl *ast.FieldList) {
@@ -103,7 +178,7 @@ func (c *allocChecker) collectAllowedRoots() {
 		}
 		for _, f := range fl.List {
 			for _, name := range f.Names {
-				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				if obj := c.info.Defs[name]; obj != nil {
 					c.allowed[obj] = true
 				}
 			}
@@ -129,9 +204,9 @@ func (c *allocChecker) collectVarInits() {
 				}
 				var obj types.Object
 				if s.Tok == token.DEFINE {
-					obj = c.pass.TypesInfo.Defs[id]
+					obj = c.info.Defs[id]
 				} else {
-					obj = c.pass.TypesInfo.Uses[id]
+					obj = c.info.Uses[id]
 				}
 				// First initializer (source order) wins: later
 				// self-referential reassignments like `out = append(out, e)`
@@ -147,7 +222,7 @@ func (c *allocChecker) collectVarInits() {
 				return true
 			}
 			for i, name := range s.Names {
-				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				if obj := c.info.Defs[name]; obj != nil {
 					if _, seen := c.varInits[obj]; !seen {
 						c.varInits[obj] = s.Values[i]
 					}
@@ -165,7 +240,7 @@ func (c *allocChecker) collectPanicRanges() {
 			return true
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+			if _, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
 				c.panicRanges = append(c.panicRanges, [2]token.Pos{call.Pos(), call.End()})
 			}
 		}
@@ -197,31 +272,31 @@ func (c *allocChecker) inPanic(pos token.Pos) bool {
 func (c *allocChecker) visit(n ast.Node) bool {
 	switch x := n.(type) {
 	case *ast.FuncLit:
-		c.pass.Reportf(x.Pos(), "closure in allocfree function %s: func literals allocate; hoist the logic or a named function", c.fd.Name.Name)
+		c.report(x.Pos(), "closure in allocfree function %s: func literals allocate; hoist the logic or a named function", c.fd.Name.Name)
 		return false
 	case *ast.CompositeLit:
 		if c.inPanic(x.Pos()) {
 			return true
 		}
-		tv, ok := c.pass.TypesInfo.Types[x]
+		tv, ok := c.info.Types[x]
 		if !ok {
 			return true
 		}
 		switch tv.Type.Underlying().(type) {
 		case *types.Slice, *types.Map:
-			c.pass.Reportf(x.Pos(), "%s literal in allocfree function %s allocates backing storage", describeType(tv.Type), c.fd.Name.Name)
+			c.report(x.Pos(), "%s literal in allocfree function %s allocates backing storage", describeType(tv.Type), c.fd.Name.Name)
 		default:
 			if c.addressed[x] {
-				c.pass.Reportf(x.Pos(), "&%s{...} in allocfree function %s heap-allocates; reuse a scratch value", describeType(tv.Type), c.fd.Name.Name)
+				c.report(x.Pos(), "&%s{...} in allocfree function %s heap-allocates; reuse a scratch value", describeType(tv.Type), c.fd.Name.Name)
 			}
 		}
 	case *ast.BinaryExpr:
 		if x.Op != token.ADD || c.inPanic(x.Pos()) {
 			return true
 		}
-		if tv, ok := c.pass.TypesInfo.Types[x]; ok && tv.Value == nil {
+		if tv, ok := c.info.Types[x]; ok && tv.Value == nil {
 			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-				c.pass.Reportf(x.Pos(), "string concatenation in allocfree function %s allocates", c.fd.Name.Name)
+				c.report(x.Pos(), "string concatenation in allocfree function %s allocates", c.fd.Name.Name)
 			}
 		}
 	case *ast.CallExpr:
@@ -233,33 +308,33 @@ func (c *allocChecker) visit(n ast.Node) bool {
 func (c *allocChecker) visitCall(call *ast.CallExpr) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if _, isBuiltin := c.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+		if _, isBuiltin := c.info.Uses[fun].(*types.Builtin); isBuiltin {
 			switch fun.Name {
 			case "make", "new":
 				if !c.inPanic(call.Pos()) {
-					c.pass.Reportf(call.Pos(), "%s in allocfree function %s allocates; preallocate and reuse storage", fun.Name, c.fd.Name.Name)
+					c.report(call.Pos(), "%s in allocfree function %s allocates; preallocate and reuse storage", fun.Name, c.fd.Name.Name)
 				}
 			case "append":
 				if len(call.Args) > 0 && !c.rootAllowed(call.Args[0], 8) && !c.inPanic(call.Pos()) {
-					c.pass.Reportf(call.Pos(), "append to %s in allocfree function %s: destination is not rooted in a parameter, receiver or named result, so it grows fresh backing storage", types.ExprString(call.Args[0]), c.fd.Name.Name)
+					c.report(call.Pos(), "append to %s in allocfree function %s: destination is not rooted in a parameter, receiver or named result, so it grows fresh backing storage", types.ExprString(call.Args[0]), c.fd.Name.Name)
 				}
 			}
 			return
 		}
 	case *ast.SelectorExpr:
 		if pkgID, ok := fun.X.(*ast.Ident); ok {
-			if pkgName, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+			if pkgName, ok := c.info.Uses[pkgID].(*types.PkgName); ok &&
 				pkgName.Imported().Path() == "fmt" && !c.inPanic(call.Pos()) {
-				c.pass.Reportf(call.Pos(), "fmt.%s in allocfree function %s allocates (boxing + formatting); restrict fmt to panic messages", fun.Sel.Name, c.fd.Name.Name)
+				c.report(call.Pos(), "fmt.%s in allocfree function %s allocates (boxing + formatting); restrict fmt to panic messages", fun.Sel.Name, c.fd.Name.Name)
 				return
 			}
 		}
 	}
 	// Explicit conversion to an interface type boxes its operand.
-	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && !c.inPanic(call.Pos()) {
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() && !c.inPanic(call.Pos()) {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
-			if atv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
-				c.pass.Reportf(call.Pos(), "conversion to interface %s in allocfree function %s boxes its operand", describeType(tv.Type), c.fd.Name.Name)
+			if atv, ok := c.info.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
+				c.report(call.Pos(), "conversion to interface %s in allocfree function %s boxes its operand", describeType(tv.Type), c.fd.Name.Name)
 			}
 		}
 	}
@@ -275,8 +350,8 @@ func (c *allocChecker) rootAllowed(expr ast.Expr, depth int) bool {
 	switch e := expr.(type) {
 	case *ast.Ident:
 		var obj types.Object
-		if obj = c.pass.TypesInfo.Uses[e]; obj == nil {
-			obj = c.pass.TypesInfo.Defs[e]
+		if obj = c.info.Uses[e]; obj == nil {
+			obj = c.info.Defs[e]
 		}
 		if obj == nil {
 			return false

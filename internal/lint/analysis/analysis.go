@@ -33,6 +33,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the module-wide knowledge collected before any analyzer
+	// runs. It is shared by every pass of a driver invocation and is never
+	// nil when the driver uses lint.Run / lint.RunWithFacts.
+	Facts *Facts
+
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -60,4 +65,57 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 	for _, f := range p.Files {
 		ast.Inspect(f, fn)
 	}
+}
+
+// Facts is the cross-package phase of the suite: a module-wide index built
+// by the driver over *all* loaded packages before any analyzer runs on any
+// single one. It plays the role of x/tools analysis facts, flattened into
+// one explicit structure because the whole module loads in one process.
+// Positions are only meaningful against the driver's shared FileSet.
+type Facts struct {
+	// AtomicFields maps a struct-field key — "pkgpath.Type.Field" — to the
+	// positions where the field is passed to a function-style sync/atomic
+	// operation (atomic.AddUint64(&x.f, ...)). Any other access to such a
+	// field is a mixed-access bug (the known `go vet` gap).
+	AtomicFields map[string][]token.Pos
+	// Funcs maps a function's fully qualified name (types.Func.FullName,
+	// e.g. "(*tokentm/stm.Tx).Store") to its collected facts.
+	Funcs map[string]*FuncFact
+}
+
+// FuncFact is the per-function slice of the module-wide index.
+type FuncFact struct {
+	// Name is the display name ("Recv.Name" or "Name").
+	Name string
+	// Pos is the function declaration's position.
+	Pos token.Pos
+
+	// Annotations parsed from the doc comment.
+	AllocFree  bool // //tokentm:allocfree — body must not allocate
+	Backoff    bool // //tokentm:backoff — counts as backoff in CAS retry loops
+	WritePath  bool // //tokentm:writepath — logorder entry point
+	TokenClaim bool // //tokentm:tokenclaim — claims write tokens
+	LogAppend  bool // //tokentm:logappend — appends the undo-log entry
+	DataWord   bool // //tokentm:dataword — returns a tracked data word
+
+	// AllocSites are the allocating constructs in the body, judged by the
+	// same conservative rules the allocfree analyzer applies to annotated
+	// functions (panic arguments exempt, caller-rooted appends allowed).
+	AllocSites []AllocSite
+	// Callees are the statically resolvable same-module calls in the body
+	// (panic arguments excluded), for interprocedural closure walks.
+	Callees []Callee
+}
+
+// AllocSite is one allocating construct inside a function body.
+type AllocSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// Callee is one resolved same-module call site.
+type Callee struct {
+	Pos token.Pos
+	// Name is the callee's types.Func.FullName, the key into Facts.Funcs.
+	Name string
 }

@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tokentm/internal/lint/analysis"
+)
+
+// AtomicField enforces two atomics-hygiene contracts on the host-concurrent
+// code (and anything else in the module):
+//
+//  1. Mixed access: a struct field that is passed to a function-style
+//     sync/atomic operation anywhere in the module (atomic.AddUint64(&x.f,
+//     ...)) must never be read or written plainly. This is the known `go
+//     vet` gap: vet checks misuse of the atomic result, not plain aliases
+//     of the same word. The module-wide fact index makes the check
+//     cross-package. Accesses to a value still under construction — the
+//     selector roots in a local freshly created by new(T), &T{...} or
+//     T{...} in the same function — are exempt: the object is not yet
+//     published, so plain initialization is the idiom.
+//
+//  2. CAS retry-loop hygiene, the static form of the PR-6 upgrade-herd
+//     lesson: a loop that retries a CompareAndSwap must (a) re-load the
+//     expected value inside the loop body — an expected value computed
+//     before the loop can never match after the first failure, so the loop
+//     spins forever — and (b) if the loop is unbounded (no condition),
+//     contain a backoff or doom call: runtime.Gosched, time.Sleep, a
+//     function annotated //tokentm:backoff, or panic on a broken
+//     invariant. Bounded spins (for i := 0; i < lim; i++) are exempt from
+//     (b); constant expected values (state-machine flips like CAS(0, 1))
+//     are exempt from (a).
+//
+// Both typed atomics (atomic.Uint64 methods) and function-style sync/atomic
+// calls count as CAS for rule 2; rule 1 only concerns function-style
+// atomics, because a typed atomic.Uint64 field cannot be accessed plainly.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "mixed atomic/plain field access and CompareAndSwap retry-loop hygiene",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	for _, fd := range enclosingFuncs(pass.Files) {
+		checkCASLoops(pass, fd)
+	}
+	return nil
+}
+
+// --- rule 1: mixed atomic/plain access -------------------------------------
+
+func checkMixedAccess(pass *analysis.Pass) {
+	if pass.Facts == nil || len(pass.Facts.AtomicFields) == 0 {
+		return
+	}
+	// Selector positions that ARE the operand of an atomic call in this
+	// package; those are the legitimate accesses.
+	atomicOperands := make(map[token.Pos]bool)
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicFuncCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := u.X.(*ast.SelectorExpr); ok {
+					atomicOperands[sel.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, fd := range enclosingFuncs(pass.Files) {
+		fresh := freshLocals(pass.TypesInfo, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := atomicFieldKey(pass.TypesInfo, sel)
+			if key == "" || atomicOperands[sel.Pos()] {
+				return true
+			}
+			if _, isAtomic := pass.Facts.AtomicFields[key]; !isAtomic {
+				return true
+			}
+			if rootIsFresh(pass.TypesInfo, sel.X, fresh, 8) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere in the module; use the atomic API for every access", key)
+			return true
+		})
+	}
+}
+
+// freshLocals returns the local variables of fd initialized from a freshly
+// constructed value — new(T), &T{...}, or a T{...} composite literal —
+// whose pointee is therefore unpublished until it escapes.
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			fresh[obj] = true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					fresh[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "new" {
+				if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+					fresh[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) != len(s.Values) {
+				return true
+			}
+			for i, id := range s.Names {
+				record(id, s.Values[i])
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// rootIsFresh traces expr through selectors/indexes/parens to its root
+// identifier and reports whether that root is a fresh local.
+func rootIsFresh(info *types.Info, expr ast.Expr, fresh map[types.Object]bool, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && fresh[obj]
+	case *ast.SelectorExpr:
+		return rootIsFresh(info, e.X, fresh, depth-1)
+	case *ast.IndexExpr:
+		return rootIsFresh(info, e.X, fresh, depth-1)
+	case *ast.ParenExpr:
+		return rootIsFresh(info, e.X, fresh, depth-1)
+	case *ast.StarExpr:
+		return rootIsFresh(info, e.X, fresh, depth-1)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return rootIsFresh(info, e.X, fresh, depth-1)
+		}
+	}
+	return false
+}
+
+// --- rule 2: CAS retry-loop hygiene ----------------------------------------
+
+func checkCASLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		checkOneCASLoop(pass, loop)
+		return true
+	})
+}
+
+// checkOneCASLoop applies both hygiene rules to the CAS calls that belong
+// directly to loop (not to a nested loop or closure, which get their own
+// analysis).
+func checkOneCASLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	casCalls := directCASCalls(pass.TypesInfo, loop)
+	if len(casCalls) == 0 {
+		return
+	}
+
+	assigned := loopAssignedObjects(pass.TypesInfo, loop)
+	for _, call := range casCalls {
+		expected := casExpectedArg(pass.TypesInfo, call)
+		if expected == nil {
+			continue
+		}
+		vars := varIdents(pass.TypesInfo, expected)
+		if len(vars) == 0 {
+			continue // constant expected value: a state flip, nothing to re-load
+		}
+		reloaded := false
+		for _, obj := range vars {
+			if assigned[obj] {
+				reloaded = true
+				break
+			}
+		}
+		if !reloaded {
+			pass.Reportf(call.Pos(), "CompareAndSwap retry loop never re-loads its expected value %s inside the loop; a stale expected value can never match, so the loop spins forever", types.ExprString(expected))
+		}
+	}
+
+	if loop.Cond == nil && !hasBackoffOrDoom(pass, loop) {
+		pass.Reportf(loop.Pos(), "unbounded CompareAndSwap retry loop without backoff or doom; call runtime.Gosched, a //tokentm:backoff function, or panic on a broken invariant")
+	}
+}
+
+// directCASCalls returns the CompareAndSwap calls in loop's condition, body
+// and post statement, excluding those inside nested for loops or func
+// literals.
+func directCASCalls(info *types.Info, loop *ast.ForStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	scan := func(root ast.Node) {
+		if root == nil {
+			return
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				if x != loop {
+					return false
+				}
+			case *ast.RangeStmt, *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if isCASCall(info, x) {
+					out = append(out, x)
+				}
+			}
+			return true
+		})
+	}
+	if loop.Cond != nil {
+		scan(loop.Cond)
+	}
+	scan(loop.Body)
+	scan(loop.Post)
+	return out
+}
+
+// isCASCall reports whether call is a sync/atomic CompareAndSwap — either
+// the function style (atomic.CompareAndSwapUint64) or a typed-atomic method
+// (atomic.Uint64's CompareAndSwap).
+func isCASCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// casExpectedArg returns the expected-value argument of a CAS call: the
+// second argument of the function style (addr, old, new), the first of the
+// method style (old, new).
+func casExpectedArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if isAtomicFuncCall(info, call) {
+		if len(call.Args) >= 2 {
+			return call.Args[1]
+		}
+		return nil
+	}
+	if len(call.Args) >= 1 {
+		return call.Args[0]
+	}
+	return nil
+}
+
+// varIdents returns the variable objects referenced by expr (constants and
+// types excluded).
+func varIdents(info *types.Info, expr ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// loopAssignedObjects returns every object assigned in the loop's body or
+// post statement — the per-iteration scope. The init statement is excluded
+// deliberately: `for old := w.Load(); ; { ... CAS(old, ...) }` loads old
+// exactly once and is precisely the stale-expected-value bug.
+func loopAssignedObjects(info *types.Info, loop *ast.ForStmt) map[types.Object]bool {
+	assigned := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				assigned[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	scan := func(root ast.Node) {
+		if root == nil {
+			return
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(s.X)
+			case *ast.ValueSpec:
+				for _, id := range s.Names {
+					record(id)
+				}
+			case *ast.RangeStmt:
+				record(s.Key)
+				record(s.Value)
+			}
+			return true
+		})
+	}
+	scan(loop.Body)
+	scan(loop.Post)
+	return assigned
+}
+
+// hasBackoffOrDoom reports whether loop's body contains (outside nested
+// closures) a recognized backoff — runtime.Gosched, time.Sleep, a
+// //tokentm:backoff-annotated module function — or a doom: panic.
+func hasBackoffOrDoom(pass *analysis.Pass, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+				found = true
+				return false
+			}
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "runtime":
+				if fn.Name() == "Gosched" {
+					found = true
+				}
+			case "time":
+				if fn.Name() == "Sleep" {
+					found = true
+				}
+			default:
+				if pass.Facts != nil {
+					if fact := pass.Facts.Funcs[funcKey(fn)]; fact != nil && fact.Backoff {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

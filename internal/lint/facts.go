@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tokentm/internal/lint/analysis"
+)
+
+// This file is the cross-package phase of the suite. The driver loads every
+// requested package, calls CollectFacts over all of them, and only then runs
+// the analyzers package by package with the shared analysis.Facts on each
+// pass. Three analyzers consume the index:
+//
+//   - atomicfield: AtomicFields records every struct field that is passed to
+//     a function-style sync/atomic operation anywhere in the module, so a
+//     plain access in one package is caught even when all atomic accesses
+//     live in another.
+//   - allocfree (interprocedural): FuncFact.AllocSites and FuncFact.Callees
+//     form a call graph over function bodies, so a //tokentm:allocfree root
+//     is checked against the closure of its same-module callees instead of
+//     trusting annotation coverage.
+//   - logorder: the //tokentm:tokenclaim, //tokentm:logappend and
+//     //tokentm:dataword role annotations resolve through Facts.Funcs, so a
+//     write path may call roles defined in another package.
+//
+// When the driver analyzes a subset of the module (a single fixture package
+// in linttest, or an explicit package argument), calls into packages outside
+// the loaded set have no facts and are trusted silently; `make lint` runs
+// over ./... so the real tree always gets the full closure.
+
+// modulePath is the import-path root of the module; calls outside it (the
+// standard library) are never followed. Fixture packages under
+// testdata/src/tokentm mimic the same prefix on purpose.
+const modulePath = "tokentm"
+
+// Directive annotations recognized by the fact collector, beyond
+// AllocFreeDirective (allocfree.go).
+const (
+	// BackoffDirective marks a function that backs off or dooms the caller;
+	// calling it satisfies the atomicfield CAS retry-loop backoff rule.
+	BackoffDirective = "//tokentm:backoff"
+	// WritePathDirective marks a logorder entry point: a function whose
+	// tracked data-word stores must be dominated by a token claim and a
+	// matching undo-log append.
+	WritePathDirective = "//tokentm:writepath"
+	// TokenClaimDirective marks the function that claims write tokens.
+	TokenClaimDirective = "//tokentm:tokenclaim"
+	// LogAppendDirective marks the function that appends the undo-log
+	// entry; its first argument is the block address being logged.
+	LogAppendDirective = "//tokentm:logappend"
+	// DataWordDirective marks the accessor returning a tracked data word;
+	// its last argument is the block address.
+	DataWordDirective = "//tokentm:dataword"
+)
+
+// CollectFacts builds the module-wide index over the given packages. All
+// packages must come from one Loader (shared FileSet), which is what both
+// the driver and linttest guarantee.
+func CollectFacts(pkgs []*Package) *analysis.Facts {
+	facts := &analysis.Facts{
+		AtomicFields: make(map[string][]token.Pos),
+		Funcs:        make(map[string]*analysis.FuncFact),
+	}
+	for _, pkg := range pkgs {
+		collectAtomicFields(pkg, facts)
+		collectFuncFacts(pkg, facts)
+	}
+	return facts
+}
+
+// inModule reports whether the package path belongs to this module.
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+// hasDirective reports whether the function's doc comment carries the given
+// //tokentm: annotation (exact line or annotation followed by a comment).
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive ||
+			len(c.Text) > len(directive) && c.Text[:len(directive)+1] == directive+" " {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey returns the Facts.Funcs key for a function object.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// collectAtomicFields records every struct field passed by address to a
+// function-style sync/atomic call in pkg.
+func collectAtomicFields(pkg *Package, facts *analysis.Facts) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := arg.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := u.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key := atomicFieldKey(pkg.Info, sel); key != "" {
+					facts.AtomicFields[key] = append(facts.AtomicFields[key], sel.Pos())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a function (not a method) of
+// package sync/atomic, e.g. atomic.AddUint64. Typed atomics
+// (atomic.Uint64's methods) are excluded: their fields cannot be accessed
+// plainly in the first place.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// atomicFieldKey returns the stable cross-package key for a field selector —
+// "pkgpath.Type.Field" — or "" when sel is not a named struct's field.
+// String keys (rather than types.Object identity) survive the fact that the
+// importer and the source type-checker materialize distinct object graphs
+// for the same package.
+func atomicFieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	field := s.Obj()
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	pkgPath := ""
+	if field.Pkg() != nil {
+		pkgPath = field.Pkg().Path()
+	}
+	return pkgPath + "." + named.Obj().Name() + "." + field.Name()
+}
+
+// collectFuncFacts records, for every function declaration in pkg, its
+// annotations, its allocating constructs (judged by the allocfree rules in
+// the function's own frame), and its statically resolvable same-module
+// callees.
+func collectFuncFacts(pkg *Package, facts *analysis.Facts) {
+	for _, fd := range enclosingFuncs(pkg.Files) {
+		obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		fact := &analysis.FuncFact{
+			Name:       funcDisplayName(fd),
+			Pos:        fd.Pos(),
+			AllocFree:  isAllocFreeAnnotated(fd),
+			Backoff:    hasDirective(fd, BackoffDirective),
+			WritePath:  hasDirective(fd, WritePathDirective),
+			TokenClaim: hasDirective(fd, TokenClaimDirective),
+			LogAppend:  hasDirective(fd, LogAppendDirective),
+			DataWord:   hasDirective(fd, DataWordDirective),
+		}
+		collect := func(pos token.Pos, format string, args ...any) {
+			// The checker's message templates address annotated functions
+			// ("... in allocfree function F ..."); here it runs over every
+			// function, annotated or not, so neutralize the phrasing.
+			what := strings.Replace(fmt.Sprintf(format, args...), "in allocfree function ", "in ", 1)
+			fact.AllocSites = append(fact.AllocSites, analysis.AllocSite{
+				Pos:  pos,
+				What: what,
+			})
+		}
+		c := newAllocChecker(pkg.Info, fd, collect)
+		ast.Inspect(fd.Body, c.visit)
+		fact.Callees = collectCallees(pkg.Info, fd, c)
+		facts.Funcs[funcKey(obj)] = fact
+	}
+}
+
+// collectCallees resolves the same-module calls of fd's body, skipping calls
+// inside panic(...) arguments (terminal paths, exempt by the same rule the
+// intra-procedural check applies).
+func collectCallees(info *types.Info, fd *ast.FuncDecl, c *allocChecker) []analysis.Callee {
+	var out []analysis.Callee
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.inPanic(call.Pos()) {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || !inModule(fn.Pkg().Path()) {
+			return true
+		}
+		out = append(out, analysis.Callee{Pos: call.Pos(), Name: funcKey(fn)})
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves a call expression to its static *types.Func target,
+// or nil for builtins, func-valued expressions, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcFactFor looks up the facts of a call's static target, or nil.
+func funcFactFor(facts *analysis.Facts, info *types.Info, call *ast.CallExpr) *analysis.FuncFact {
+	if facts == nil {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	return facts.Funcs[funcKey(fn)]
+}

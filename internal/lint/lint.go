@@ -1,17 +1,32 @@
-// Package lint implements the tokentm static-analysis suite: four analyzers
-// that enforce the determinism and hot-path contracts from DESIGN.md at
-// lint time, at the offending source line, before any simulation runs.
+// Package lint implements the tokentm static-analysis suite: six analyzers
+// that enforce the determinism, hot-path and concurrency-discipline
+// contracts from DESIGN.md at lint time, at the offending source line,
+// before any simulation or host transaction runs.
 //
 //   - maporder: no for-range over a map in a simulation or ordered-output
 //     package unless the body is order-insensitive aggregation.
 //   - wallclock: no wall-clock reads or global math/rand calls in
 //     simulation packages; seeded rand.New(rand.NewSource(...)) is fine.
 //   - allocfree: functions annotated //tokentm:allocfree contain no
-//     allocating constructs (conservative AST check; a dynamic
-//     testing.AllocsPerRun table test cross-checks the annotation list).
+//     allocating constructs, and no call chain out of them reaches one in
+//     an unannotated same-module callee (conservative AST check plus a
+//     fact-based call-graph closure; a dynamic testing.AllocsPerRun table
+//     test cross-checks the annotation list).
 //   - exhaustive: switches over the protocol enums (MESI states, packed
 //     metastate states, access outcomes, ...) cover every constant or carry
 //     a default that panics or returns.
+//   - atomicfield: a struct field touched via function-style sync/atomic
+//     anywhere in the module is never read or written plainly, and
+//     CompareAndSwap retry loops re-load their expected value and back off
+//     (atomicfield.go).
+//   - logorder: on //tokentm:writepath functions, every store to a tracked
+//     data word is dominated by the token claim and the matching undo-log
+//     append (logorder.go).
+//
+// The driver runs in two phases: CollectFacts indexes every loaded package
+// (atomic-field usage, per-function alloc sites, call edges, annotations),
+// then each analyzer runs per package with the shared module-wide
+// analysis.Facts.
 //
 // A finding is suppressed by a //lint:ignore directive:
 //
@@ -33,7 +48,7 @@ import (
 
 // Analyzers returns the full tokentm suite in a fixed order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapOrder, WallClock, AllocFree, Exhaustive}
+	return []*analysis.Analyzer{MapOrder, WallClock, AllocFree, Exhaustive, AtomicField, LogOrder}
 }
 
 // knownAnalyzer reports whether name names a suite analyzer.
@@ -55,10 +70,18 @@ type directive struct {
 	used       bool
 }
 
-// Run applies the analyzers to pkg, filters the findings through the
-// package's //lint:ignore directives, and returns the surviving
-// diagnostics (including directive-hygiene diagnostics) sorted by position.
+// Run applies the analyzers to pkg with facts collected from pkg alone,
+// filters the findings through the package's //lint:ignore directives, and
+// returns the surviving diagnostics (including directive-hygiene
+// diagnostics) sorted by position. Single-package facts suffice for
+// self-contained packages (the linttest fixtures); the multichecker collects
+// facts over every loaded package and calls RunWithFacts instead.
 func Run(pkg *Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	return RunWithFacts(pkg, analyzers, CollectFacts([]*Package{pkg}))
+}
+
+// RunWithFacts is Run with an explicit, typically module-wide, fact index.
+func RunWithFacts(pkg *Package, analyzers []*analysis.Analyzer, facts *analysis.Facts) []analysis.Diagnostic {
 	var raw []analysis.Diagnostic
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
@@ -67,6 +90,7 @@ func Run(pkg *Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
 		}
 		if err := a.Run(pass); err != nil {

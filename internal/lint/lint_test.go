@@ -27,6 +27,26 @@ func TestExhaustive(t *testing.T) {
 	linttest.Run(t, "testdata/src/tokentm/internal/sim/exhaustive", lint.Exhaustive)
 }
 
+// TestAtomicField covers mixed atomic/plain field access (with the
+// fresh-constructor exemption) and CAS retry-loop hygiene, including the
+// seeded stale-expected-value livelock.
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/stm/atomicfield", lint.AtomicField)
+}
+
+// TestLogOrder covers claim/log/store ordering on annotated write paths,
+// including the seeded store-before-log bug and branch-merge dominance.
+func TestLogOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/stm/logorder", lint.LogOrder)
+}
+
+// TestAllocFreeInterproc covers the call-graph closure out of annotated
+// roots: the seeded allocating-callee bug, trust in annotated callees, and
+// the interprocedural panic-path exemption.
+func TestAllocFreeInterproc(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/stm/allocfreecalls", lint.AllocFree)
+}
+
 // TestDirectives covers //lint:ignore hygiene: suppression in both
 // placements, missing-reason and unknown-analyzer diagnostics, and stale
 // directive detection.

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tokentm/internal/lint/analysis"
+)
+
+// LogOrder checks the write-before-log bug class — the one the explore
+// model checker catches dynamically via the skip-log-credit mutation — at
+// compile time. The TokenTM commit/abort argument requires that before a
+// transaction overwrites a tracked data word it (a) holds write tokens on
+// the block and (b) has appended the old value to its undo log; a store
+// that precedes either step is unrecoverable on abort.
+//
+// The check is annotation-driven and intra-procedural:
+//
+//   - //tokentm:writepath marks an entry point to analyze;
+//   - //tokentm:tokenclaim marks the function that claims write tokens;
+//   - //tokentm:logappend marks the undo-log append, whose first argument
+//     is the block address being logged;
+//   - //tokentm:dataword marks the accessor that returns a tracked data
+//     word, whose last argument is the block address.
+//
+// Within each write path the analyzer walks the statement graph with a
+// conservative forward dataflow: a tracked store — a .Store(...) on the
+// result of a dataword accessor, directly or through a single local alias —
+// must be dominated by a tokenclaim call and by a logappend call whose
+// address expression textually matches the store's. Branches merge by
+// intersection (a fact holds after an if only when it holds on every
+// non-terminating arm); loop bodies are analyzed with the facts that hold
+// on entry, so a claim established only late in a previous iteration does
+// not count — conservative, and suppressible with //lint:ignore where the
+// protocol argument is made by hand.
+var LogOrder = &analysis.Analyzer{
+	Name: "logorder",
+	Doc:  "tracked data-word stores on //tokentm:writepath must be dominated by token claim and undo-log append",
+	Run:  runLogOrder,
+}
+
+func runLogOrder(pass *analysis.Pass) error {
+	for _, fd := range enclosingFuncs(pass.Files) {
+		if !hasDirective(fd, WritePathDirective) {
+			continue
+		}
+		w := &logOrderWalker{pass: pass, fd: fd}
+		w.collectDataWordAliases()
+		w.block(fd.Body, logOrderState{logged: map[string]bool{}})
+	}
+	return nil
+}
+
+// logOrderState is the abstract state at one program point: whether a token
+// claim dominates it, and which address expressions have a dominating
+// undo-log append.
+type logOrderState struct {
+	claim      bool
+	logged     map[string]bool
+	terminated bool // a return/panic/break was taken; excluded from merges
+}
+
+func (s logOrderState) clone() logOrderState {
+	logged := make(map[string]bool, len(s.logged))
+	for k := range s.logged {
+		logged[k] = true
+	}
+	return logOrderState{claim: s.claim, logged: logged}
+}
+
+// mergeStates intersects the facts of the non-terminated branch states.
+// With every branch terminated, the merge point is unreachable and any
+// state is sound; the first branch is returned.
+func mergeStates(states ...logOrderState) logOrderState {
+	var live []logOrderState
+	for _, s := range states {
+		if !s.terminated {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		out := states[0]
+		out.terminated = true
+		return out
+	}
+	out := live[0].clone()
+	for _, s := range live[1:] {
+		out.claim = out.claim && s.claim
+		for k := range out.logged {
+			if !s.logged[k] {
+				delete(out.logged, k)
+			}
+		}
+	}
+	return out
+}
+
+type logOrderWalker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+	// dataWordAliases maps a local variable to the dataword accessor call
+	// that initialized it, so `w := tm.dataw(a); ...; w.Store(v)` is
+	// tracked like the direct form.
+	dataWordAliases map[types.Object]*ast.CallExpr
+}
+
+func (w *logOrderWalker) collectDataWordAliases() {
+	w.dataWordAliases = make(map[types.Object]*ast.CallExpr)
+	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+			if !ok || !w.isRole(call, roleDataWord) {
+				continue
+			}
+			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+				w.dataWordAliases[obj] = call
+			}
+		}
+		return true
+	})
+}
+
+type logOrderRole int
+
+const (
+	roleTokenClaim logOrderRole = iota
+	roleLogAppend
+	roleDataWord
+)
+
+// isRole reports whether call's static target carries the given annotation,
+// resolved through the module-wide fact index.
+func (w *logOrderWalker) isRole(call *ast.CallExpr, role logOrderRole) bool {
+	fact := funcFactFor(w.pass.Facts, w.pass.TypesInfo, call)
+	if fact == nil {
+		return false
+	}
+	switch role {
+	case roleTokenClaim:
+		return fact.TokenClaim
+	case roleLogAppend:
+		return fact.LogAppend
+	case roleDataWord:
+		return fact.DataWord
+	}
+	return false
+}
+
+// addrKey is the textual identity of a block-address expression; matching
+// is syntactic on purpose — the log append and the store must name the same
+// address the same way, which is itself a readability contract.
+func addrKey(e ast.Expr) string { return types.ExprString(e) }
+
+// block walks a statement list, threading the state through.
+func (w *logOrderWalker) block(b *ast.BlockStmt, state logOrderState) logOrderState {
+	if b == nil {
+		return state
+	}
+	for _, s := range b.List {
+		state = w.stmt(s, state)
+	}
+	return state
+}
+
+// stmt interprets one statement: control flow is handled structurally,
+// everything else is scanned for role calls and tracked stores in source
+// order.
+func (w *logOrderWalker) stmt(s ast.Stmt, state logOrderState) logOrderState {
+	if state.terminated {
+		return state
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(x, state)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			state = w.stmt(x.Init, state)
+		}
+		state = w.scan(x.Cond, state)
+		thenState := w.block(x.Body, state.clone())
+		elseState := state.clone()
+		if x.Else != nil {
+			elseState = w.stmt(x.Else, elseState)
+		}
+		return mergeStates(thenState, elseState)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			state = w.stmt(x.Init, state)
+		}
+		if x.Cond != nil {
+			state = w.scan(x.Cond, state)
+		}
+		body := w.block(x.Body, state.clone())
+		if x.Post != nil {
+			w.stmt(x.Post, body)
+		}
+		// The loop may run zero times; facts established inside do not
+		// survive it.
+		return state
+	case *ast.RangeStmt:
+		w.block(x.Body, state.clone())
+		return state
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			state = w.stmt(x.Init, state)
+		}
+		if x.Tag != nil {
+			state = w.scan(x.Tag, state)
+		}
+		return w.switchBody(x.Body, state, hasDefaultCase(x.Body))
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			state = w.stmt(x.Init, state)
+		}
+		return w.switchBody(x.Body, state, hasDefaultCase(x.Body))
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			state = w.scan(r, state)
+		}
+		state.terminated = true
+		return state
+	case *ast.BranchStmt:
+		// break/continue/goto: effects after this point in the current
+		// block are unreachable.
+		state.terminated = true
+		return state
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred and spawned calls run outside this path's program
+		// order: a deferred claim does not dominate anything, and a
+		// deferred store is out of scope.
+		return state
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, state)
+	default:
+		return w.scan(s, state)
+	}
+}
+
+// switchBody analyzes each case clause from the pre-state and merges.
+func (w *logOrderWalker) switchBody(body *ast.BlockStmt, state logOrderState, hasDefault bool) logOrderState {
+	outs := []logOrderState{}
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cs := state.clone()
+		for _, e := range cc.List {
+			cs = w.scan(e, cs)
+		}
+		for _, st := range cc.Body {
+			cs = w.stmt(st, cs)
+		}
+		outs = append(outs, cs)
+	}
+	if !hasDefault || len(outs) == 0 {
+		// Without a default the switch may fall through unchanged.
+		outs = append(outs, state)
+	}
+	return mergeStates(outs...)
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scan applies the effects and checks of the calls inside a non-control
+// node, in AST order; nested closures are skipped (they are not part of
+// this path's program order).
+func (w *logOrderWalker) scan(n ast.Node, state logOrderState) logOrderState {
+	if n == nil {
+		return state
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case w.isRole(call, roleTokenClaim):
+			state.claim = true
+		case w.isRole(call, roleLogAppend):
+			if len(call.Args) > 0 {
+				state.logged[addrKey(call.Args[0])] = true
+			}
+		default:
+			if addr, ok := w.trackedStore(call); ok {
+				w.checkStore(call, addr, state)
+			}
+		}
+		return true
+	})
+	return state
+}
+
+// trackedStore recognizes `<dataword accessor>.Store(v)` — directly or
+// through a local alias — and returns the block-address expression.
+func (w *logOrderWalker) trackedStore(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return nil, false
+	}
+	var dw *ast.CallExpr
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.CallExpr:
+		if w.isRole(x, roleDataWord) {
+			dw = x
+		}
+	case *ast.Ident:
+		if obj := w.pass.TypesInfo.Uses[x]; obj != nil {
+			dw = w.dataWordAliases[obj]
+		}
+	}
+	if dw == nil || len(dw.Args) == 0 {
+		return nil, false
+	}
+	return dw.Args[len(dw.Args)-1], true
+}
+
+func (w *logOrderWalker) checkStore(call *ast.CallExpr, addr ast.Expr, state logOrderState) {
+	key := addrKey(addr)
+	if !state.claim {
+		w.pass.Reportf(call.Pos(), "store to tracked data word %s on write path %s is not dominated by a token claim; claim write tokens before mutating the block", key, w.fd.Name.Name)
+	}
+	if !state.logged[key] {
+		w.pass.Reportf(call.Pos(), "store to tracked data word %s on write path %s is not dominated by an undo-log append for %s; log the old value first or the block is unrecoverable on abort", key, w.fd.Name.Name, key)
+	}
+}

@@ -24,6 +24,7 @@ var simPackages = []string{
 	"internal/logtmse",
 	"internal/mem",
 	"internal/metastate",
+	"internal/sig",
 	"internal/sim",
 	"internal/statehash",
 	"internal/tmlog",
@@ -47,6 +48,23 @@ var orderedOutputPackages = []string{
 var hostSidePackages = []string{
 	"stm",
 	"cmd",
+}
+
+// exemptPackages are bound by no contract: the module root (public facade),
+// the examples, the transaction library layered on stm, host-side analysis
+// helpers, and the lint tooling itself. Every module package must appear in
+// exactly one scope — this list exists so "unclassified" is always a
+// mistake, never a default. TestScopeCoversModule pins the invariant
+// against `go list ./...`. Paths are module-relative; "." is the root.
+var exemptPackages = []string{
+	".",
+	"examples",
+	"txlib",
+	"internal/harness",
+	"internal/lint",
+	"internal/randstream",
+	"internal/stats",
+	"internal/workload",
 }
 
 // pkgKey reduces an import path to its module-relative form: the suffix
@@ -119,3 +137,68 @@ func isSimPackage(path string) bool { return inList(path, simPackages) }
 // isOrderedOutputPackage reports whether path owes deterministic iteration
 // order for its output without being a simulation package.
 func isOrderedOutputPackage(path string) bool { return inList(path, orderedOutputPackages) }
+
+// relKey reduces an import path to its module-relative form for the exempt
+// list: "tokentm" -> ".", "tokentm/txlib" -> "txlib". Paths outside the
+// module map to "".
+func relKey(path string) string {
+	if path == modulePath {
+		return "."
+	}
+	if strings.HasPrefix(path, modulePath+"/") {
+		return strings.TrimPrefix(path, modulePath+"/")
+	}
+	return ""
+}
+
+// isExemptPackage reports whether path is explicitly outside every contract.
+func isExemptPackage(path string) bool {
+	key := relKey(path)
+	if key == "" {
+		return false
+	}
+	for _, p := range exemptPackages {
+		if key == p || (p != "." && strings.HasPrefix(key, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scope labels the contract binding one package.
+type Scope string
+
+const (
+	// ScopeSim: full simulation contract (wallclock, maporder, allocfree,
+	// exhaustive).
+	ScopeSim Scope = "sim"
+	// ScopeOrderedOutput: byte-stable output on top of the sim contract's
+	// maporder rules.
+	ScopeOrderedOutput Scope = "ordered-output"
+	// ScopeHostSide: host-concurrent by charter; exempt from the simulation
+	// contracts, covered by the concurrency-discipline analyzers
+	// (atomicfield, logorder) and annotation-driven allocfree.
+	ScopeHostSide Scope = "host-side"
+	// ScopeExempt: bound by no contract (tooling, examples, facade).
+	ScopeExempt Scope = "exempt"
+	// ScopeUnknown: not classified — always a configuration error.
+	ScopeUnknown Scope = "unknown"
+)
+
+// ScopeOf classifies a package import path. Every package `go list ./...`
+// reports must classify to something other than ScopeUnknown; the scope
+// sync test enforces this, so a new package cannot silently dodge the
+// contracts.
+func ScopeOf(path string) Scope {
+	switch {
+	case isSimPackage(path):
+		return ScopeSim
+	case isOrderedOutputPackage(path):
+		return ScopeOrderedOutput
+	case isHostSidePackage(path):
+		return ScopeHostSide
+	case isExemptPackage(path):
+		return ScopeExempt
+	}
+	return ScopeUnknown
+}

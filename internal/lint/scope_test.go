@@ -1,0 +1,100 @@
+package lint
+
+// TestScopeCoversModule pins the scope lists against the real module: every
+// package `go list ./...` reports must classify into exactly one scope, and
+// every list entry must still match at least one real package. A new
+// package cannot silently dodge the contracts, and a renamed package cannot
+// leave a stale entry behind.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func modulePackages(t *testing.T) []string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "./...")
+	cmd.Dir = "../.." // module root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list ./...: %v", err)
+	}
+	var pkgs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			pkgs = append(pkgs, line)
+		}
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("go list returned implausibly few packages: %v", pkgs)
+	}
+	return pkgs
+}
+
+func TestScopeCoversModule(t *testing.T) {
+	pkgs := modulePackages(t)
+
+	for _, pkg := range pkgs {
+		if ScopeOf(pkg) == ScopeUnknown {
+			t.Errorf("package %s is not classified; add it to a scope list in internal/lint/scope.go", pkg)
+		}
+	}
+
+	// Overlap check: the predicates must be mutually exclusive, so ScopeOf's
+	// switch order never hides a double classification.
+	for _, pkg := range pkgs {
+		n := 0
+		for _, in := range []bool{
+			isSimPackage(pkg), isOrderedOutputPackage(pkg),
+			isHostSidePackage(pkg), isExemptPackage(pkg),
+		} {
+			if in {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Errorf("package %s matches %d scope lists; scopes must be disjoint", pkg, n)
+		}
+	}
+
+	// Staleness check: every list entry must cover at least one package.
+	covers := func(match func(string) bool) bool {
+		for _, pkg := range pkgs {
+			if match(pkg) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range simPackages {
+		e := e
+		if !covers(func(p string) bool { return inList(p, []string{e}) }) {
+			t.Errorf("simPackages entry %q matches no module package; remove or rename it", e)
+		}
+	}
+	for _, e := range orderedOutputPackages {
+		e := e
+		if !covers(func(p string) bool { return inList(p, []string{e}) }) {
+			t.Errorf("orderedOutputPackages entry %q matches no module package; remove or rename it", e)
+		}
+	}
+	for _, e := range hostSidePackages {
+		e := e
+		if !covers(func(p string) bool {
+			key := hostKey(p)
+			return key == e || strings.HasPrefix(key, e+"/")
+		}) {
+			t.Errorf("hostSidePackages entry %q matches no module package; remove or rename it", e)
+		}
+	}
+	for _, e := range exemptPackages {
+		e := e
+		if !covers(func(p string) bool {
+			key := relKey(p)
+			return key == e || (e != "." && strings.HasPrefix(key, e+"/"))
+		}) {
+			t.Errorf("exemptPackages entry %q matches no module package; remove or rename it", e)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package allocfreecalls exercises the interprocedural allocfree closure:
+// calls out of a //tokentm:allocfree root are followed into unannotated
+// same-module callees, so an allocating helper two hops away is caught at
+// the root's call site.
+package allocfreecalls
+
+type ring struct {
+	buf []uint64
+	pos int
+}
+
+// grow allocates a doubled buffer; it is legitimately allocating and
+// unannotated.
+func (r *ring) grow() {
+	next := make([]uint64, 2*len(r.buf)+1)
+	copy(next, r.buf)
+	r.buf = next
+}
+
+// push reaches grow when the buffer is full.
+func (r *ring) push(v uint64) {
+	if r.pos == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.pos] = v
+	r.pos++
+}
+
+// record is the seeded bug: the annotated root reaches grow's make through
+// the unannotated push.
+//
+//tokentm:allocfree
+func (r *ring) record(v uint64) {
+	r.push(v) // want `call in allocfree function record reaches an allocating construct: .*push -> .*grow \(make in grow allocates`
+}
+
+// advance is annotated, so it is verified at its own declaration and
+// trusted by callers' closure walks.
+//
+//tokentm:allocfree
+func (r *ring) advance() {
+	r.pos++
+}
+
+// step's walk stops at the annotated advance: the exempted pattern.
+//
+//tokentm:allocfree
+func (r *ring) step() {
+	r.advance()
+}
+
+// sum calls nothing that allocates: a clean closure.
+//
+//tokentm:allocfree
+func (r *ring) sum() uint64 {
+	var s uint64
+	for _, v := range r.buf {
+		s += v
+	}
+	return s
+}
+
+// describe allocates (string concatenation) and is only ever called on a
+// terminal panic path.
+func describe(p int) string { return string(rune(p)) + " out of range" }
+
+// check panics with an allocating formatter; panic arguments stay exempt
+// interprocedurally, same as in the intra-procedural rules.
+//
+//tokentm:allocfree
+func (r *ring) check() {
+	if r.pos > len(r.buf) {
+		panic(describe(r.pos))
+	}
+}

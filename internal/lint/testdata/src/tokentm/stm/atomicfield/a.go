@@ -1,0 +1,135 @@
+// Package atomicfield exercises the atomicfield analyzer: field-level
+// mixed atomic/plain access detection (the go vet gap) and CompareAndSwap
+// retry-loop hygiene (the static form of the PR-6 upgrade-herd lesson).
+package atomicfield
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Counter's hits field is maintained with function-style sync/atomic; every
+// other access must go through the atomic API too.
+type Counter struct {
+	hits  uint64
+	plain uint64
+}
+
+func (c *Counter) Hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) ReadRacy() uint64 {
+	return c.hits // want `plain access to tokentm/stm/atomicfield\.Counter\.hits`
+}
+
+func (c *Counter) WriteRacy() {
+	c.hits = 0 // want `plain access to tokentm/stm/atomicfield\.Counter\.hits`
+}
+
+// Fields never touched atomically stay free.
+func (c *Counter) PlainFieldIsFine() uint64 {
+	return c.plain
+}
+
+// NewCounter writes the field plainly on a freshly constructed, unpublished
+// value: the constructor exemption.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 1
+	return c
+}
+
+// SnapshotApprox documents an accepted torn read via the ignore directive.
+func (c *Counter) SnapshotApprox() uint64 {
+	//lint:ignore atomicfield approximate stats read; tearing is acceptable here
+	return c.hits
+}
+
+// Gate covers the function-style CAS (expected value is the second
+// argument, after the address).
+type Gate struct {
+	word uint64
+}
+
+func openGate(g *Gate) {
+	for {
+		old := atomic.LoadUint64(&g.word)
+		if atomic.CompareAndSwapUint64(&g.word, old, old|1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func peekGate(g *Gate) uint64 {
+	return g.word // want `plain access to tokentm/stm/atomicfield\.Gate\.word`
+}
+
+func newGate() *Gate {
+	g := new(Gate)
+	g.word = 1
+	return g
+}
+
+// casStale is the seeded livelock: the expected value is loaded once before
+// the loop, so after the first failed CAS it can never match again — and
+// the loop spins without backoff.
+func casStale(w *atomic.Uint64) {
+	old := w.Load()
+	for { // want `unbounded CompareAndSwap retry loop without backoff`
+		if w.CompareAndSwap(old, old+1) { // want `never re-loads its expected value old`
+			return
+		}
+	}
+}
+
+// casGood re-loads inside the loop and yields between attempts.
+func casGood(w *atomic.Uint64) {
+	for {
+		old := w.Load()
+		if w.CompareAndSwap(old, old+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// casBounded: a bounded spin is exempt from the backoff rule.
+func casBounded(w *atomic.Uint64) bool {
+	for i := 0; i < 8; i++ {
+		old := w.Load()
+		if w.CompareAndSwap(old, old|1) {
+			return true
+		}
+	}
+	return false
+}
+
+// pause stands in for the protocol's doom-or-yield helpers.
+//
+//tokentm:backoff
+func pause() { runtime.Gosched() }
+
+// casAnnotatedBackoff satisfies the backoff rule through a
+// //tokentm:backoff-annotated function.
+func casAnnotatedBackoff(w *atomic.Uint64) {
+	for {
+		old := w.Load()
+		if w.CompareAndSwap(old, old+2) {
+			return
+		}
+		pause()
+	}
+}
+
+// casFlip: a constant expected value is a state flip, so the re-load rule
+// is vacuous; panic on a broken invariant counts as doom.
+func casFlip(w *atomic.Uint64) {
+	for !w.CompareAndSwap(0, 1) {
+		if w.Load() > 1 {
+			panic("corrupt state word")
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,129 @@
+// Package logorder exercises the logorder analyzer: on a
+// //tokentm:writepath function, every store to a tracked data word must be
+// dominated by a token claim and by an undo-log append for the same block
+// address.
+package logorder
+
+type word struct{ v uint64 }
+
+func (w *word) Load() uint64   { return w.v }
+func (w *word) Store(x uint64) { w.v = x }
+
+type entry struct{ a, v uint64 }
+
+type tm struct {
+	words []word
+	log   []entry
+}
+
+// dataw returns the tracked data word of block a.
+//
+//tokentm:dataword
+func (t *tm) dataw(a uint64) *word { return &t.words[a] }
+
+// appendUndo records the old value of block a for abort replay.
+//
+//tokentm:logappend
+func (t *tm) appendUndo(a, v uint64) { t.log = append(t.log, entry{a, v}) }
+
+// claim acquires all write tokens of block a.
+//
+//tokentm:tokenclaim
+func (t *tm) claim(a uint64) {}
+
+// storeGood is the canonical order: claim, log the old value, then store.
+//
+//tokentm:writepath
+func (t *tm) storeGood(a, v uint64) {
+	t.claim(a)
+	t.appendUndo(a, t.dataw(a).Load())
+	t.dataw(a).Store(v)
+}
+
+// storeBeforeLog is the seeded bug: the block is mutated before its old
+// value reaches the undo log, so an abort cannot restore it.
+//
+//tokentm:writepath
+func (t *tm) storeBeforeLog(a, v uint64) {
+	t.claim(a)
+	t.dataw(a).Store(v) // want `not dominated by an undo-log append for a`
+	t.appendUndo(a, 0)
+}
+
+// storeBeforeClaim mutates a block whose tokens it does not hold.
+//
+//tokentm:writepath
+func (t *tm) storeBeforeClaim(a, v uint64) {
+	t.appendUndo(a, t.dataw(a).Load())
+	t.dataw(a).Store(v) // want `not dominated by a token claim`
+	t.claim(a)
+}
+
+// wrongBlockLogged: an undo entry for a different address does not cover
+// the store.
+//
+//tokentm:writepath
+func (t *tm) wrongBlockLogged(a, b, v uint64) {
+	t.claim(a)
+	t.appendUndo(b, t.dataw(b).Load())
+	t.dataw(a).Store(v) // want `not dominated by an undo-log append for a`
+}
+
+// claimOnOneBranchOnly: facts merge by intersection, so a claim on a single
+// arm does not dominate the store below the join.
+//
+//tokentm:writepath
+func (t *tm) claimOnOneBranchOnly(a, v uint64, cond bool) {
+	t.appendUndo(a, t.dataw(a).Load())
+	if cond {
+		t.claim(a)
+	}
+	t.dataw(a).Store(v) // want `not dominated by a token claim`
+}
+
+// earlyReturnIsFine: a terminating arm is excluded from the merge, so the
+// fall-through path keeps its facts.
+//
+//tokentm:writepath
+func (t *tm) earlyReturnIsFine(a, v uint64, cond bool) {
+	if cond {
+		return
+	}
+	t.claim(a)
+	t.appendUndo(a, t.dataw(a).Load())
+	t.dataw(a).Store(v)
+}
+
+// aliasIsTracked: holding the data word in a local does not hide the store.
+//
+//tokentm:writepath
+func (t *tm) aliasIsTracked(a, v uint64) {
+	w := t.dataw(a)
+	t.claim(a)
+	t.appendUndo(a, w.Load())
+	w.Store(v)
+}
+
+// aliasBug: the alias form is checked too (seeded bug through the local).
+//
+//tokentm:writepath
+func (t *tm) aliasBug(a, v uint64) {
+	w := t.dataw(a)
+	t.claim(a)
+	w.Store(v) // want `not dominated by an undo-log append for a`
+}
+
+// reinitZero documents a hand-verified exception via the ignore directive.
+//
+//tokentm:writepath
+func (t *tm) reinitZero(a uint64) {
+	t.claim(a)
+	//lint:ignore logorder fresh block: the old value is architecturally zero
+	t.dataw(a).Store(1)
+}
+
+// rawStoreOutOfScope: unannotated functions are not write paths; the
+// analyzer stays silent even though this stores without claim or log.
+func (t *tm) rawStoreOutOfScope(a, v uint64) {
+	t.dataw(a).Store(v)
+}

@@ -47,12 +47,6 @@ type Config struct {
 	// RetryLimit is how many stalls a transaction tolerates against an
 	// older enemy before self-aborting.
 	RetryLimit int
-	// LegacyStepper forces Run onto the legacy per-turn scheduler loop
-	// instead of the event engine (events.go). The two produce identical
-	// schedules (see TestSchedulerEquivalence); the flag exists so the
-	// equivalence test can drive both, and will be removed once the event
-	// engine has survived a release.
-	LegacyStepper bool
 }
 
 // DefaultConfig is the paper's machine: 32 cores.
@@ -363,14 +357,14 @@ func (th *Thread) yield(r opResult) {
 // Run executes until every thread finishes, returning the makespan: the
 // largest core clock (total parallel execution time). Machines on the default
 // min-time schedule run on the event engine (events.go); preemptive machines
-// (Quantum > 0), custom pickers and the LegacyStepper flag use the legacy
-// per-turn loop. Both produce identical schedules.
+// (Quantum > 0) and custom pickers use the per-turn loop below, which the
+// schedule explorer also drives directly through StepOn.
 func (m *Machine) Run() mem.Cycle {
 	if m.HTM == nil {
 		panic("sim: SetHTM before Run")
 	}
 	_, defaultPicker := m.picker.(MinTimePicker)
-	if !m.cfg.LegacyStepper && m.cfg.Quantum == 0 && defaultPicker {
+	if m.cfg.Quantum == 0 && defaultPicker {
 		return m.runEvent()
 	}
 	for m.live > 0 {

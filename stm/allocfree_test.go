@@ -1,0 +1,123 @@
+package stm
+
+// TestAllocFreeAnnotations cross-checks this package's //tokentm:allocfree
+// annotations at runtime: the table's key set must equal the annotation
+// list the static analyzer sees (lint.AllocFreeFuncs), and each entry must
+// measure zero allocations per run on its steady-state path. The drivers
+// are white-box — beginAttempt/commitAttempt bracket the protocol calls the
+// way runAttempt does, minus the deferred recover that testing.AllocsPerRun
+// cannot see through.
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"tokentm/internal/lint"
+)
+
+func TestAllocFreeAnnotations(t *testing.T) {
+	tm := New(64, 4, 2)
+	th := tm.Thread(0)
+	tx := &th.tx
+
+	words := Addr(tm.WordsPerBlock())
+	a := 3 * words  // block 3
+	u := 11 * words // block 11, reserved for the Upsert2 entry
+
+	// One-time growth: the mark table is allocated by Thread(0) above, and
+	// the first transactions warm every stats field. Each entry also runs
+	// three warm-up rounds before measuring.
+	for i := 0; i < 3; i++ {
+		if _, err := th.Atomically(func(tx *Tx) error {
+			tx.Store(a, tx.Load(a)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entries := []struct {
+		name string
+		fn   func()
+	}{
+		{"Tx.Load", func() {
+			th.beginAttempt(tx)
+			if tx.Load(a) == 0 {
+				t.Fatal("warm-up should have left block 3 nonzero")
+			}
+			tx.commitAttempt()
+		}},
+		{"Tx.Load2", func() {
+			th.beginAttempt(tx)
+			tx.Load2(a, a+1)
+			tx.commitAttempt()
+		}},
+		{"Tx.LoadW", func() {
+			th.beginAttempt(tx)
+			tx.Store(a, tx.LoadW(a)+1)
+			tx.commitAttempt()
+		}},
+		{"Tx.Store", func() {
+			th.beginAttempt(tx)
+			tx.Store(a, 7)
+			tx.commitAttempt()
+		}},
+		{"Tx.Stable", func() {
+			th.beginAttempt(tx)
+			tx.Stable(a)
+			tx.commitAttempt()
+		}},
+		{"Tx.commitAttempt", func() {
+			th.beginAttempt(tx)
+			tx.Store(a, tx.Load(a)+1)
+			tx.commitAttempt()
+		}},
+		{"Tx.abortAttempt", func() {
+			th.beginAttempt(tx)
+			tx.Store(a, 99)
+			tx.abortAttempt()
+		}},
+		{"Thread.Snapshot2", func() {
+			th.Snapshot2(a, a+1)
+		}},
+		{"Thread.NoteCommit", func() {
+			th.NoteCommit()
+		}},
+		{"Thread.Upsert2", func() {
+			claimed, _ := th.Upsert2(u, u+1, 42, 43)
+			if !claimed {
+				t.Fatal("Upsert2 lost a claim with no contenders")
+			}
+		}},
+		{"spinWait", func() {
+			rng := th.rng
+			spinWait(1, &rng)
+		}},
+	}
+
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	want, err := lint.AllocFreeFuncs(".")
+	if err != nil {
+		t.Fatalf("scanning annotations: %v", err)
+	}
+	if !slices.Equal(names, want) {
+		t.Fatalf("annotation/table drift:\n annotated: %v\n table:     %v", want, names)
+	}
+
+	for _, e := range entries {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				e.fn()
+			}
+			if n := testing.AllocsPerRun(100, e.fn); n != 0 {
+				t.Errorf("%s allocates %.0f times per run; want 0", e.name, n)
+			}
+		})
+	}
+}

@@ -138,7 +138,11 @@ func (tm *TM) nextSerial() uint64 {
 	return s
 }
 
-// dataw returns the cell holding data word a.
+// dataw returns the cell holding data word a. Stores through it on an
+// annotated write path must be preceded by a token claim and an undo-log
+// append for the same address (the logorder analyzer's contract).
+//
+//tokentm:dataword
 func (tm *TM) dataw(a Addr) *atomic.Uint64 { return &tm.words[a] }
 
 // Thread returns the transactional thread with the given id (0-based,
@@ -341,6 +345,8 @@ func (th *Thread) runAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, err 
 // backoff delays a conflicted transaction before its next attempt: bounded
 // exponential in the retry count with splitmix jitter, yielding the
 // processor so the token holder can run (essential when GOMAXPROCS is small).
+//
+//tokentm:backoff
 func (th *Thread) backoff(retries int) {
 	shift := retries
 	if shift > 6 {

@@ -31,6 +31,8 @@ type Tx struct {
 // the block on first touch; conflicts with a writer unwind the attempt via
 // retrySignal. In snapshot mode it performs a stamp-validated tokenless
 // read instead.
+//
+//tokentm:allocfree
 func (tx *Tx) Load(a Addr) uint64 {
 	if tx.ro {
 		return tx.loadRO(a)
@@ -55,6 +57,8 @@ func (tx *Tx) loadToken(a Addr) uint64 {
 // Load2 returns the words at a1 and a2, which must lie in the same block —
 // the common "adjacent fields of one record" shape. It costs one token
 // acquisition (or one snapshot validation) instead of two Loads.
+//
+//tokentm:allocfree
 func (tx *Tx) Load2(a1, a2 Addr) (uint64, uint64) {
 	if uint32(a1)>>tx.th.tm.shift != uint32(a2)>>tx.th.tm.shift {
 		spanPanic(a1, a2)
@@ -125,6 +129,12 @@ func (tx *Tx) loadRO2(a1, a2 Addr) (uint64, uint64) {
 
 // Store writes v to a, acquiring all of the block's tokens on first write.
 // A block previously read by this transaction takes the upgrade path.
+//
+// This is the canonical write path: claim the block's tokens, log the old
+// value, then store — the order the logorder analyzer enforces.
+//
+//tokentm:writepath
+//tokentm:allocfree
 func (tx *Tx) Store(a Addr, v uint64) {
 	th := tx.th
 	if tx.ro {
@@ -138,6 +148,8 @@ func (tx *Tx) Store(a Addr, v uint64) {
 // LoadW returns the word at a after acquiring the block's write tokens — the
 // "read a word I am about to overwrite" shape. Unlike Load+Store it never
 // takes the read-token detour, so a blind update costs one acquisition.
+//
+//tokentm:allocfree
 func (tx *Tx) LoadW(a Addr) uint64 {
 	th := tx.th
 	if tx.ro {
@@ -149,6 +161,8 @@ func (tx *Tx) LoadW(a Addr) uint64 {
 
 // writeAcquire ensures this transaction holds block b's write tokens,
 // upgrading a held read token (fold-in) or acquiring fresh.
+//
+//tokentm:tokenclaim
 func (tx *Tx) writeAcquire(b uint32) {
 	th := tx.th
 	m := th.mark[b]
@@ -179,6 +193,8 @@ func (tx *Tx) writeAcquire(b uint32) {
 // immutable, so probing past it needs no conflict detection). Any decision
 // that IS order-sensitive — matching the key, observing an empty slot —
 // must be re-made through Load/LoadW/Load2 on the owning block.
+//
+//tokentm:allocfree
 func (tx *Tx) Stable(a Addr) uint64 {
 	th := tx.th
 	b := uint32(a) >> th.tm.shift
@@ -223,6 +239,8 @@ func (tx *Tx) Stable(a Addr) uint64 {
 // The body is split so the no-writer, no-retry common case stays within
 // the compiler's inlining budget: a kv store's probe loop then pays four
 // plain atomic loads per slot, not a function call.
+//
+//tokentm:allocfree
 func (th *Thread) Snapshot2(a1, a2 Addr) (v1, v2, serial uint64) {
 	tm := th.tm
 	if uint32(a1^a2)>>tm.shift != 0 {
@@ -265,6 +283,8 @@ func (th *Thread) snapshot2Slow(a1, a2 Addr) (v1, v2, serial uint64) {
 // NoteCommit records one committed non-transactional operation — a
 // point-read composed of Snapshot2 calls — in the thread's statistics, so
 // stores built on the fast path keep Commits comparable with Txn counts.
+//
+//tokentm:allocfree
 func (th *Thread) NoteCommit() {
 	th.stats.Commits++
 	th.stats.SnapshotCommits++
@@ -285,6 +305,15 @@ func (th *Thread) NoteCommit() {
 // when this one block is the whole footprint. Calling it inside the
 // thread's own open transaction panics where detectable (the thread is
 // the identified holder).
+//
+// Upsert2 is a write path with a deliberate exception to the claim/log
+// discipline: the claim is the direct full-token CompareAndSwap above each
+// store (not writeAcquire), and no undo entries are appended because the
+// path either commits in place or backs out having written nothing. The
+// per-store ignore directives below record that argument.
+//
+//tokentm:writepath
+//tokentm:allocfree
 func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint64) {
 	tm := th.tm
 	b := uint32(a1) >> tm.shift
@@ -326,12 +355,14 @@ func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint
 		// thread can transition the word, so plain stores release it.
 		switch g := tm.dataw(a1).Load(); g {
 		case 0:
+			//lint:ignore logorder claimed by the full-token CAS above; the guard word was zero, so there is no old value to log
 			tm.dataw(a1).Store(k1)
 		case k1:
 		default:
 			w.Store(uint64(old)) // nothing written: the stamp must not move
 			return false, 0
 		}
+		//lint:ignore logorder claimed by the full-token CAS above; a2 is the value word of a claimed-or-fresh record, never replayed on abort
 		tm.dataw(a2).Store(v2)
 		serial = tm.nextSerial()
 		w.Store(uint64(metastate.MakeWord(metastate.PackedZero, serial)))
@@ -462,6 +493,8 @@ func (tx *Tx) acquireWrite(b uint32, haveRead bool) {
 // acquisition round: count it, draw our birth ticket if this is the
 // transaction's first conflict, doom a younger identified holder, give up
 // after spinLimit rounds, otherwise yield briefly and re-examine.
+//
+//tokentm:backoff
 func (tx *Tx) conflict(enemy mem.TID, counter *uint64, spin int) {
 	th := tx.th
 	*counter++
@@ -476,6 +509,10 @@ func (tx *Tx) conflict(enemy mem.TID, counter *uint64, spin int) {
 }
 
 // retry aborts the attempt (undo + release) and unwinds to Atomically.
+// It dooms the attempt rather than pausing it, which satisfies the CAS
+// retry-loop hygiene rule the same way a direct panic does.
+//
+//tokentm:backoff
 func (tx *Tx) retry(counter *uint64) {
 	*counter++
 	tx.abortAttempt()
@@ -487,6 +524,8 @@ func (tx *Tx) retry(counter *uint64) {
 // commit serial while every token is still held — the serialization point —
 // then release all tokens, stamping the serial into every written block so
 // snapshot readers can place the writes relative to their read serial.
+//
+//tokentm:allocfree
 func (tx *Tx) commitAttempt() uint64 {
 	th := tx.th
 	if !th.status.CompareAndSwap(
@@ -505,6 +544,8 @@ func (tx *Tx) commitAttempt() uint64 {
 // still get a fresh stamp — the restored bytes equal the pre-transaction
 // state, but a snapshot reader may have seen the block mid-write, and only
 // a stamp change tells it to re-read.
+//
+//tokentm:allocfree
 func (tx *Tx) abortAttempt() {
 	th := tx.th
 	for i := tx.logs.nUndo - 1; i >= 0; i-- {
@@ -600,6 +641,9 @@ func (th *Thread) releaseRead(b uint32) {
 // spinWait delays one acquisition round: exponential in the round number
 // with jitter, implemented as scheduler yields so the holder runs even at
 // GOMAXPROCS=1.
+//
+//tokentm:backoff
+//tokentm:allocfree
 func spinWait(spin int, rng *uint64) {
 	if spin > 5 {
 		spin = 5

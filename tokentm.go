@@ -87,11 +87,6 @@ type Config struct {
 	Quantum Cycle
 	// RetryLimit bounds stalls against an older enemy before self-abort.
 	RetryLimit int
-	// LegacyStepper forces the legacy per-turn scheduler loop instead of
-	// the event engine. Both produce identical executions (the scheduler
-	// equivalence test drives every variant and workload through both);
-	// the flag exists for that test and disappears with the legacy loop.
-	LegacyStepper bool
 }
 
 // System is a configured simulated machine plus its HTM.
@@ -108,11 +103,10 @@ func New(cfg Config) *System {
 		cfg.Variant = VariantTokenTM
 	}
 	m := sim.New(sim.Config{
-		Cores:         cfg.Cores,
-		Seed:          cfg.Seed,
-		Quantum:       cfg.Quantum,
-		RetryLimit:    cfg.RetryLimit,
-		LegacyStepper: cfg.LegacyStepper,
+		Cores:      cfg.Cores,
+		Seed:       cfg.Seed,
+		Quantum:    cfg.Quantum,
+		RetryLimit: cfg.RetryLimit,
 	})
 	var h htm.System
 	switch cfg.Variant {
