@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tokentm/internal/lint"
+	"tokentm/internal/lint/linttest"
+)
+
+func TestLogOrderSwitchBreakScratch(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokentm/stm/logorderscratch", lint.LogOrder)
+}

@@ -1,0 +1,51 @@
+// Package logorderscratch probes switch-break handling.
+package logorderscratch
+
+type word struct{ v uint64 }
+
+func (w *word) Load() uint64   { return w.v }
+func (w *word) Store(x uint64) { w.v = x }
+
+type entry struct{ a, v uint64 }
+
+type tm struct {
+	words []word
+	log   []entry
+}
+
+//tokentm:dataword
+func (t *tm) dataw(a uint64) *word { return &t.words[a] }
+
+//tokentm:logappend
+func (t *tm) appendUndo(a, v uint64) { t.log = append(t.log, entry{a, v}) }
+
+//tokentm:tokenclaim
+func (t *tm) claim(a uint64) {}
+
+// breakArmEscapesMerge: the case-1 arm ends in a bare break and continues
+// after the switch WITHOUT a claim or log, but the analyzer should still
+// flag the store.
+//
+//tokentm:writepath
+func (t *tm) breakArmEscapesMerge(a, v, mode uint64) {
+	switch mode {
+	case 1:
+		break // no claim, no log on this live path
+	default:
+		t.claim(a)
+		t.appendUndo(a, t.dataw(a).Load())
+	}
+	t.dataw(a).Store(v) // want `not dominated`
+}
+
+// aliasReassigned: w is rebound to block b, but the alias map keeps the
+// first initializer, so the store is checked against a instead of b.
+//
+//tokentm:writepath
+func (t *tm) aliasReassigned(a, b, v uint64) {
+	w := t.dataw(a)
+	w = t.dataw(b)
+	t.claim(a)
+	t.appendUndo(a, 0)
+	w.Store(v) // stores to b; no claim/log for b, should be flagged
+}
