@@ -15,7 +15,15 @@ BENCH_PARALLEL ?= 0
 STM_OPS ?= 60000
 STM_REPS ?= 9
 
-.PHONY: verify lint race bench breakdown explore microbench benchgate profile stmbench clean-cache
+# Network benchmark grid parameters (make stmnetbench): the wire modes are
+# ~100x slower per op than in-process handles, so the per-cell op count is
+# smaller and the worker sweep narrower.
+STMNET_OPS ?= 20000
+STMNET_REPS ?= 5
+STMNET_WORKERS ?= 1,2,4
+STMNET_SHARDS ?= 4
+
+.PHONY: verify lint race bench breakdown explore microbench benchgate profile stmbench stmnetbench clean-cache
 
 verify:
 	$(GO) build ./...
@@ -105,6 +113,19 @@ stmbench:
 	$(GO) run ./cmd/tokentm-store -bench -ops $(STM_OPS) -reps $(STM_REPS) \
 		-json BENCH_stm.json -text BENCH_stm.txt
 	$(GO) run ./cmd/tokentm-store -check BENCH_stm.json
+
+# Network benchmark grid: the same blind-write zipfian mixes through three
+# access modes — unsharded in-process, sharded in-process, and a live
+# stm/server over a loopback socket (schema tokentm-stmnet/v1). At
+# workers=1 all three modes must reach the same final-state checksum: one
+# seeded op stream, three executions, one state — checked at bench time and
+# by `-check`. Loopback numbers measure protocol overhead, not networks;
+# read the cross-mode ratios, not the absolute ops/s.
+stmnetbench:
+	$(GO) run ./cmd/tokentm-store -netbench -ops $(STMNET_OPS) -reps $(STMNET_REPS) \
+		-workers $(STMNET_WORKERS) -shards $(STMNET_SHARDS) \
+		-json BENCH_stmnet.json -text BENCH_stmnet.txt
+	$(GO) run ./cmd/tokentm-store -check BENCH_stmnet.json
 
 clean-cache:
 	rm -rf .expcache

@@ -1,9 +1,13 @@
 // Command tokentm-store benchmarks the transactional KV store across its
-// three backends (stm, rwmutex, tl2-occ) under the loadgen mixes, and
-// checks a previously recorded report.
+// three backends (stm, rwmutex, tl2-occ) under the loadgen mixes, checks a
+// previously recorded report, runs the network benchmark (in-process vs
+// sharded vs over-the-wire, see netbench.go), and serves the store over
+// TCP (see serve.go).
 //
 //	tokentm-store -bench -reps 5 -json BENCH_stm.json -text BENCH_stm.txt
-//	tokentm-store -check BENCH_stm.json
+//	tokentm-store -netbench -reps 5 -json BENCH_stmnet.json
+//	tokentm-store -check BENCH_stm.json        # schema-dispatched
+//	tokentm-store -serve -addr :6380 -shards 4
 //
 // -reps measures each cell several times with the backends interleaved
 // round-robin and keeps the best rep: on a shared host, load bursts hit all
@@ -65,6 +69,12 @@ type report struct {
 func main() {
 	var (
 		bench    = flag.Bool("bench", false, "run the benchmark grid")
+		netbench = flag.Bool("netbench", false, "run the network benchmark grid (inproc/sharded/net)")
+		serve    = flag.Bool("serve", false, "serve the sharded store over TCP until SIGTERM")
+		addr     = flag.String("addr", "127.0.0.1:6380", "listen address for -serve")
+		shards   = flag.Int("shards", 4, "shard count for -serve and -netbench (power of two)")
+		maxConns = flag.Int("max-conns", 64, "connection limit for -serve")
+		modes    = flag.String("modes", strings.Join(netModes, ","), "comma-separated modes for -netbench")
 		check    = flag.String("check", "", "validate a recorded report file and exit")
 		jsonPath = flag.String("json", "", "write the JSON report to this file")
 		textPath = flag.String("text", "", "write benchstat-comparable lines to this file")
@@ -84,11 +94,40 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkReport(*check); err != nil {
+		if err := checkFile(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "tokentm-store: check failed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("OK: %s passes the deterministic report checks\n", *check)
+		return
+	}
+	if *serve {
+		if err := runServe(*addr, *shards, *capacity, *maxConns); err != nil {
+			fmt.Fprintf(os.Stderr, "tokentm-store: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *netbench {
+		cfg := netReportConfig{
+			Ops:      *ops,
+			Reps:     *reps,
+			Keyspace: *keyspace,
+			Capacity: *capacity,
+			Seed:     *seed,
+			ZipfS:    *zipfS,
+			Shards:   *shards,
+			Workers:  parseInts(*workers),
+			Modes:    splitList(*modes),
+			Mixes:    splitList(*mixes),
+		}
+		rep, err := runNetGrid(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tokentm-store: %v\n", err)
+			os.Exit(1)
+		}
+		printNetSummary(rep)
+		writeOutputs(*jsonPath, *textPath, rep, netBenchstatText(rep))
 		return
 	}
 	if !*bench {
@@ -113,17 +152,46 @@ func main() {
 		os.Exit(1)
 	}
 	printSummary(rep)
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, rep); err != nil {
+	writeOutputs(*jsonPath, *textPath, rep, benchstatText(rep))
+}
+
+// writeOutputs writes the JSON report and/or benchstat text if paths were
+// given, exiting on failure.
+func writeOutputs(jsonPath, textPath string, rep any, text string) {
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "tokentm-store: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if *textPath != "" {
-		if err := os.WriteFile(*textPath, []byte(benchstatText(rep)), 0o644); err != nil {
+	if textPath != "" {
+		if err := os.WriteFile(textPath, []byte(text), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "tokentm-store: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// checkFile sniffs the report's schema tag and dispatches to the matching
+// checker, so one -check flag covers both report formats.
+func checkFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sniff struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(buf, &sniff); err != nil {
+		return err
+	}
+	switch sniff.Schema {
+	case schemaID:
+		return checkReport(buf)
+	case netSchemaID:
+		return checkNetReport(buf)
+	default:
+		return fmt.Errorf("unknown schema %q (know %q, %q)", sniff.Schema, schemaID, netSchemaID)
 	}
 }
 
@@ -235,7 +303,7 @@ func printSummary(rep *report) {
 	}
 }
 
-func writeJSON(path string, rep *report) error {
+func writeJSON(path string, rep any) error {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -260,11 +328,7 @@ func benchstatText(rep *report) string {
 // tag, full grid coverage, per-cell sanity, and checksum agreement across
 // backends on the single-worker cells (where the op stream is one seeded
 // sequence, so all backends must produce identical final state).
-func checkReport(path string) error {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
+func checkReport(buf []byte) error {
 	var rep report
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return err

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tokentm/stm/server"
+)
+
+// runServe runs the sharded store as a network server until SIGTERM or
+// interrupt, then drains: the listener closes, in-flight transactions
+// finish (commit or -RETRY, never torn), idle connections close.
+func runServe(addr string, shards, capacity, maxConns int) error {
+	srv, err := server.New(server.Config{
+		Shards:   shards,
+		Capacity: capacity,
+		MaxConns: maxConns,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tokentm-store: serving %d shards on %s (%d conns max)\n",
+		shards, ln.Addr(), maxConns)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tokentm-store: %v, draining\n", s)
+		srv.Shutdown()
+		return <-done
+	case err := <-done:
+		// SHUTDOWN over the wire drains the server from inside; Serve
+		// returning without a signal is that, or a listener error. Either
+		// way wait for the drain to finish (Shutdown is idempotent).
+		srv.Shutdown()
+		return err
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"tokentm/internal/lint/analysis"
@@ -100,15 +101,24 @@ type logOrderWalker struct {
 	fd   *ast.FuncDecl
 	// dataWordAliases maps a local variable to the dataword accessor call
 	// that initialized it, so `w := tm.dataw(a); ...; w.Store(v)` is
-	// tracked like the direct form.
+	// tracked like the direct form. Only single-assignment locals qualify:
+	// a variable rebound after its initializer would otherwise be checked
+	// against the stale address (the collection pass is flow-insensitive),
+	// so reassigned aliases are dropped from tracking entirely.
 	dataWordAliases map[types.Object]*ast.CallExpr
+	// breakTargets is the stack of enclosing breakable constructs; a
+	// non-nil entry collects the states flowing out of a bare break (a
+	// switch exit), a nil entry swallows them (a loop — its exit state is
+	// the conservative pre-entry state already).
+	breakTargets []*[]logOrderState
 }
 
 func (w *logOrderWalker) collectDataWordAliases() {
 	w.dataWordAliases = make(map[types.Object]*ast.CallExpr)
+	assigns := make(map[types.Object]int)
 	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
 		s, ok := n.(*ast.AssignStmt)
-		if !ok || len(s.Lhs) != len(s.Rhs) {
+		if !ok {
 			return true
 		}
 		for i, lhs := range s.Lhs {
@@ -116,16 +126,30 @@ func (w *logOrderWalker) collectDataWordAliases() {
 			if !ok {
 				continue
 			}
+			obj := w.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			assigns[obj]++
+			if len(s.Lhs) != len(s.Rhs) {
+				continue
+			}
 			call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
 			if !ok || !w.isRole(call, roleDataWord) {
 				continue
 			}
-			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
-				w.dataWordAliases[obj] = call
-			}
+			w.dataWordAliases[obj] = call
 		}
 		return true
 	})
+	for obj := range w.dataWordAliases {
+		if assigns[obj] != 1 {
+			delete(w.dataWordAliases, obj)
+		}
+	}
 }
 
 type logOrderRole int
@@ -198,7 +222,9 @@ func (w *logOrderWalker) stmt(s ast.Stmt, state logOrderState) logOrderState {
 		if x.Cond != nil {
 			state = w.scan(x.Cond, state)
 		}
+		w.breakTargets = append(w.breakTargets, nil)
 		body := w.block(x.Body, state.clone())
+		w.breakTargets = w.breakTargets[:len(w.breakTargets)-1]
 		if x.Post != nil {
 			w.stmt(x.Post, body)
 		}
@@ -206,7 +232,9 @@ func (w *logOrderWalker) stmt(s ast.Stmt, state logOrderState) logOrderState {
 		// survive it.
 		return state
 	case *ast.RangeStmt:
+		w.breakTargets = append(w.breakTargets, nil)
 		w.block(x.Body, state.clone())
+		w.breakTargets = w.breakTargets[:len(w.breakTargets)-1]
 		return state
 	case *ast.SwitchStmt:
 		if x.Init != nil {
@@ -229,7 +257,15 @@ func (w *logOrderWalker) stmt(s ast.Stmt, state logOrderState) logOrderState {
 		return state
 	case *ast.BranchStmt:
 		// break/continue/goto: effects after this point in the current
-		// block are unreachable.
+		// block are unreachable. A bare break also delivers the current
+		// state to the innermost breakable construct's exit — for a
+		// switch that exit is the statement after it, so the state must
+		// join the switch's merge (a break arm is NOT a terminated path).
+		if x.Tok == token.BREAK && x.Label == nil && len(w.breakTargets) > 0 {
+			if c := w.breakTargets[len(w.breakTargets)-1]; c != nil {
+				*c = append(*c, state.clone())
+			}
+		}
 		state.terminated = true
 		return state
 	case *ast.DeferStmt, *ast.GoStmt:
@@ -244,8 +280,11 @@ func (w *logOrderWalker) stmt(s ast.Stmt, state logOrderState) logOrderState {
 	}
 }
 
-// switchBody analyzes each case clause from the pre-state and merges.
+// switchBody analyzes each case clause from the pre-state and merges,
+// including the states bare breaks deliver to the switch exit.
 func (w *logOrderWalker) switchBody(body *ast.BlockStmt, state logOrderState, hasDefault bool) logOrderState {
+	var breaks []logOrderState
+	w.breakTargets = append(w.breakTargets, &breaks)
 	outs := []logOrderState{}
 	for _, clause := range body.List {
 		cc, ok := clause.(*ast.CaseClause)
@@ -261,10 +300,12 @@ func (w *logOrderWalker) switchBody(body *ast.BlockStmt, state logOrderState, ha
 		}
 		outs = append(outs, cs)
 	}
+	w.breakTargets = w.breakTargets[:len(w.breakTargets)-1]
 	if !hasDefault || len(outs) == 0 {
 		// Without a default the switch may fall through unchanged.
 		outs = append(outs, state)
 	}
+	outs = append(outs, breaks...)
 	return mergeStates(outs...)
 }
 

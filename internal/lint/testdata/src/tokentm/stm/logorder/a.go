@@ -127,3 +127,68 @@ func (t *tm) reinitZero(a uint64) {
 func (t *tm) rawStoreOutOfScope(a, v uint64) {
 	t.dataw(a).Store(v)
 }
+
+// breakArmEscapesMerge: the case-1 arm ends in a bare break and reaches
+// the statement after the switch WITHOUT a claim or log — a break arm is
+// not a terminated path, so the merge must include it and the store must
+// be flagged on both counts.
+//
+//tokentm:writepath
+func (t *tm) breakArmEscapesMerge(a, v, mode uint64) {
+	switch mode {
+	case 1:
+		break // no claim, no log on this live path
+	default:
+		t.claim(a)
+		t.appendUndo(a, t.dataw(a).Load())
+	}
+	t.dataw(a).Store(v) // want `not dominated by a token claim` `not dominated by an undo-log append for a`
+}
+
+// breakAfterClaim: both arms establish claim+log before breaking or
+// falling out, so the store after the switch is clean.
+//
+//tokentm:writepath
+func (t *tm) breakAfterClaim(a, v, mode uint64) {
+	switch mode {
+	case 1:
+		t.claim(a)
+		t.appendUndo(a, t.dataw(a).Load())
+		break
+	default:
+		t.claim(a)
+		t.appendUndo(a, t.dataw(a).Load())
+	}
+	t.dataw(a).Store(v)
+}
+
+// loopBreakStaysConservative: a break inside a for loop delivers its state
+// to the loop exit, not to any switch; the loop's exit state is already
+// the conservative pre-entry state, so the claim+log established before
+// the break must not leak past the loop.
+//
+//tokentm:writepath
+func (t *tm) loopBreakStaysConservative(a, v uint64) {
+	for {
+		t.claim(a)
+		t.appendUndo(a, t.dataw(a).Load())
+		break
+	}
+	t.dataw(a).Store(v) // want `not dominated by a token claim` `not dominated by an undo-log append for a`
+}
+
+// aliasReassigned: w is rebound to block b after its initializer, so the
+// flow-insensitive alias map cannot know which address the store hits;
+// the alias is dropped from tracking rather than checked against the
+// stale address a (which would have wrongly passed — a is claimed and
+// logged, b is not). Flow-sensitive alias tracking would flag this store;
+// until then the conservative drop at least never misattributes.
+//
+//tokentm:writepath
+func (t *tm) aliasReassigned(a, b, v uint64) {
+	w := t.dataw(a)
+	w = t.dataw(b)
+	t.claim(a)
+	t.appendUndo(a, 0)
+	w.Store(v)
+}

@@ -90,9 +90,12 @@ func TestAllocFreeAnnotations(t *testing.T) {
 				t.Fatal("Upsert2 lost a claim with no contenders")
 			}
 		}},
+		{"bump", func() {
+			bump(&th.stats.Commits)
+		}},
 		{"spinWait", func() {
 			rng := th.rng
-			spinWait(1, &rng)
+			spinWait(1, 5, &rng)
 		}},
 	}
 

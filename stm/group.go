@@ -1,0 +1,160 @@
+package stm
+
+// Group runs one atomic transaction across several TMs. The kvstore shards
+// its table over independent TMs so disjoint key ranges stop sharing one
+// serial ticket — but a cross-shard MULTI must still be one transaction.
+// Nesting Atomically cannot deliver that (the inner transaction commits and
+// releases before the outer one decides), so Group generalizes the commit
+// protocol instead: one member Thread per TM, all attempts opened together,
+// and a commit that holds every token on every shard until a serial has been
+// drawn from every touched shard — strict two-phase locking across the
+// group, which makes the per-shard serial orders mutually consistent (each
+// shard's commit-journal replay sees the group's effects at a single point).
+//
+// Conflict handling is entirely the members' own machinery: an acquisition
+// that loses on any shard aborts that member (releasing its tokens) and
+// unwinds the whole group via retrySignal; Group rolls the other members
+// back and retries after the usual backoff. Dooms work per shard — the
+// eldest tiebreak compares birth tickets drawn from each shard's own ticket
+// source, so there is no cross-shard eldest. That weakens the no-starvation
+// argument to the same probabilistic one every bounded-spin 2PL system
+// makes: a cross-shard cycle cannot block forever (every acquisition's spin
+// is bounded, and giving up releases everything), and randomized backoff
+// breaks the symmetric retry races. MaxAttempts (taken from the first
+// member's TM, so build every shard with the same Options) bounds the loop
+// when the caller would rather surface ErrAborted than wait out a storm.
+type Group struct {
+	members []*Thread
+}
+
+// NewGroup builds a Group over the given member threads, one per TM. Every
+// member must come from TM.Thread, belong to a distinct TM, and — like any
+// Thread — be used by one goroutine at a time. The Group borrows the
+// members: between Group.Atomically calls they remain usable directly.
+func NewGroup(members ...*Thread) *Group {
+	if len(members) == 0 {
+		panic("stm: NewGroup with no members")
+	}
+	for i, th := range members {
+		if th.mark == nil {
+			panic("stm: Group member not obtained via TM.Thread")
+		}
+		for _, prev := range members[:i] {
+			if prev.tm == th.tm {
+				panic("stm: two Group members on one TM")
+			}
+		}
+	}
+	return &Group{members: members}
+}
+
+// GroupTx is the per-attempt view handed to Group.Atomically's fn.
+type GroupTx struct{ g *Group }
+
+// Tx returns member i's transaction view. Addresses passed to it index
+// member i's TM.
+func (gt *GroupTx) Tx(i int) *Tx { return &gt.g.members[i].tx }
+
+// Atomically runs fn as one transaction spanning every member TM, with the
+// same contract as Thread.Atomically (fn re-executed after conflicts, error
+// aborts, ErrAborted after MaxAttempts). On commit it returns one serial per
+// member: the commit serial drawn from that member's TM, or 0 for a member
+// whose shard the transaction never touched. All nonzero serials were drawn
+// while the group still held every token on every shard, so each is a true
+// serialization point within its own shard's commit order.
+func (g *Group) Atomically(fn func(gt *GroupTx) error) (serials []uint64, err error) {
+	for _, th := range g.members {
+		if th.tx.ro || th.status.Load()&stateMask != stateIdle {
+			panic("stm: Group.Atomically over a busy member Thread")
+		}
+	}
+	for _, th := range g.members {
+		th.birth.Store(0)
+	}
+	lead := g.members[0]
+	gt := &GroupTx{g: g}
+	serials = make([]uint64, len(g.members))
+	for retries := 0; ; retries++ {
+		for _, th := range g.members {
+			th.beginAttempt(&th.tx)
+		}
+		err, again := g.runAttempt(gt, fn, serials)
+		if !again {
+			if err != nil {
+				return nil, err
+			}
+			return serials, nil
+		}
+		if ma := lead.tm.opt.MaxAttempts; ma > 0 && retries+1 >= ma {
+			return nil, ErrAborted
+		}
+		lead.backoff(retries)
+	}
+}
+
+// runAttempt executes fn once across the group, committing on success. The
+// recover mirrors Thread.runAttempt; the difference is that any unwind —
+// conflict, error, or caller panic — must roll back every member, not one.
+func (g *Group) runAttempt(gt *GroupTx, fn func(gt *GroupTx) error, serials []uint64) (err error, again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.abortAll()
+			if _, ok := r.(retrySignal); ok {
+				again = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err = fn(gt); err != nil {
+		g.abortAll()
+		return err, false
+	}
+	return nil, !g.commitAll(serials)
+}
+
+// commitAll is the cross-shard commit. Phase 1 closes the doom window on
+// every member (the same status CAS commitAttempt uses; one failure means an
+// elder doomed us and the whole group aborts). Phase 2 draws a serial from
+// every touched shard — all tokens on all shards are still held here, which
+// is the property that makes the per-shard serials jointly consistent.
+// Phase 3 releases everything, stamping each shard's written blocks with
+// that shard's serial.
+func (g *Group) commitAll(serials []uint64) bool {
+	for _, th := range g.members {
+		if !th.status.CompareAndSwap(
+			th.attempt<<statusShift|stateActive,
+			th.attempt<<statusShift|stateIdle) {
+			bump(&th.stats.DoomedAborts)
+			g.abortAll()
+			return false
+		}
+	}
+	for i, th := range g.members {
+		if th.tx.logs.nRead > 0 || th.tx.logs.nWrite > 0 {
+			serials[i] = th.tm.nextSerial()
+		} else {
+			serials[i] = 0
+		}
+	}
+	for i, th := range g.members {
+		th.tx.releaseAll(serials[i])
+		th.tx.finished = true
+		bump(&th.stats.Commits)
+	}
+	return true
+}
+
+// abortAll rolls every member back and re-idles its status word. A member
+// whose own retry already aborted (finished set by abortAttempt) is skipped
+// — double-releasing its tokens would be a double-entry violation. Statuses
+// flipped idle by a partial commitAll phase 1 are stored idle again,
+// harmlessly.
+func (g *Group) abortAll() {
+	for _, th := range g.members {
+		if !th.tx.finished {
+			th.tx.abortAttempt()
+		}
+		th.status.Store(th.attempt<<statusShift | stateIdle)
+	}
+}

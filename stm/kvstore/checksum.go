@@ -1,0 +1,37 @@
+package kvstore
+
+import "sort"
+
+// Snapshotter is the quiescent-iteration half of Store: anything that can
+// enumerate its committed KV state. Checksum takes this narrow interface so
+// the server's CHECKSUM command and the load generator's cross-backend gate
+// hash through one definition.
+type Snapshotter interface {
+	ForEach(fn func(key, val uint64))
+}
+
+// Checksum folds the store's final state into one FNV-1a word, iterating in
+// sorted key order so equal states hash equal regardless of backend, shard
+// layout, or iteration order. Quiescent-only (it uses ForEach).
+func Checksum(s Snapshotter) uint64 {
+	type kv struct{ k, v uint64 }
+	var all []kv
+	s.ForEach(func(k, v uint64) { all = append(all, kv{k, v}) })
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, e := range all {
+		mix(e.k)
+		mix(e.v)
+	}
+	return h
+}

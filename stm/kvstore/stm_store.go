@@ -27,11 +27,19 @@ type stmStore struct {
 }
 
 // NewSTM builds the TokenTM-backend store with the given slot capacity
-// (rounded up to a power of two) for up to workers concurrent handles.
+// (rounded up to a power of two) for up to workers concurrent handles, under
+// the default contention policy.
 func NewSTM(capacity, workers int) Store {
+	return NewSTMWithOptions(capacity, workers, stm.Options{})
+}
+
+// NewSTMWithOptions is NewSTM with an explicit contention policy (zero
+// fields resolve to defaults; see stm.Options). The server builds its shards
+// through this so MaxAttempts bounds every transaction's retries.
+func NewSTMWithOptions(capacity, workers int, opt stm.Options) Store {
 	n := ceilPow2(capacity)
 	return &stmStore{
-		tm:   stm.New(n, 2, workers),
+		tm:   stm.NewWithOptions(n, 2, workers, opt),
 		mask: uint64(n - 1),
 	}
 }

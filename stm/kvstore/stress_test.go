@@ -1,7 +1,6 @@
 package kvstore
 
 import (
-	"sort"
 	"sync"
 	"testing"
 )
@@ -9,39 +8,25 @@ import (
 // This file is the host-side twin of internal/explore's oracle: run real
 // goroutines against each backend, journal every committed transaction's
 // observed reads and final writes, then replay the journals in commit-serial
-// order against a reference map. Every journaled read must equal the
-// reference at its serialization point, and the store's final state must
-// match the reference — serializability and atomicity, checked end to end.
-// Run under -race this also proves the token/lock protocols publish data
-// with proper happens-before edges.
-
-// jrOp is one journaled KV observation or effect.
-type jrOp struct {
-	key uint64
-	val uint64
-	ok  bool // for reads: present/absent
-}
-
-// jrTxn is one committed transaction's journal entry.
-type jrTxn struct {
-	serial uint64
-	writer bool // drew a write ticket (non-empty write set)
-	reads  []jrOp
-	writes []jrOp
-}
+// order against a reference map (ReplayJournals in oracle.go — exported so
+// the server's over-the-wire stress reuses it). Every journaled read must
+// equal the reference at its serialization point, and the store's final
+// state must match the reference — serializability and atomicity, checked
+// end to end. Run under -race this also proves the token/lock protocols
+// publish data with proper happens-before edges.
 
 // journalTx wraps a backend Tx, recording reads of keys the transaction has
 // not itself written (later reads of own writes are satisfied by the
 // backend's read-your-writes and say nothing about the serialization point).
 type journalTx struct {
 	inner  Tx
-	reads  []jrOp
-	writes []jrOp
+	reads  []JournalOp
+	writes []JournalOp
 }
 
 func (j *journalTx) wrote(key uint64) bool {
 	for i := range j.writes {
-		if j.writes[i].key == key {
+		if j.writes[i].Key == key {
 			return true
 		}
 	}
@@ -51,7 +36,7 @@ func (j *journalTx) wrote(key uint64) bool {
 func (j *journalTx) Get(key uint64) (uint64, bool) {
 	v, ok := j.inner.Get(key)
 	if !j.wrote(key) {
-		j.reads = append(j.reads, jrOp{key: key, val: v, ok: ok})
+		j.reads = append(j.reads, JournalOp{Key: key, Val: v, OK: ok})
 	}
 	return v, ok
 }
@@ -59,18 +44,18 @@ func (j *journalTx) Get(key uint64) (uint64, bool) {
 func (j *journalTx) Put(key, val uint64) {
 	j.inner.Put(key, val)
 	for i := range j.writes {
-		if j.writes[i].key == key {
-			j.writes[i].val = val
+		if j.writes[i].Key == key {
+			j.writes[i].Val = val
 			return
 		}
 	}
-	j.writes = append(j.writes, jrOp{key: key, val: val, ok: true})
+	j.writes = append(j.writes, JournalOp{Key: key, Val: val, OK: true})
 }
 
 // journaledTxn runs fn through h with journaling and appends the committed
 // record to out. The journal resets on every attempt, so only the committed
 // execution survives.
-func journaledTxn(h Handle, readOnly bool, fn func(Tx) error, out *[]jrTxn) error {
+func journaledTxn(h Handle, readOnly bool, fn func(Tx) error, out *[]JournalTxn) error {
 	var j journalTx
 	serial, err := h.Txn(readOnly, func(tx Tx) error {
 		j.inner = tx
@@ -81,41 +66,19 @@ func journaledTxn(h Handle, readOnly bool, fn func(Tx) error, out *[]jrTxn) erro
 	if err != nil {
 		return err
 	}
-	rec := jrTxn{serial: serial, writer: len(j.writes) > 0}
-	rec.reads = append(rec.reads, j.reads...)
-	rec.writes = append(rec.writes, j.writes...)
+	rec := JournalTxn{Serial: serial, Writer: len(j.writes) > 0}
+	rec.Reads = append(rec.Reads, j.reads...)
+	rec.Writes = append(rec.Writes, j.writes...)
 	*out = append(*out, rec)
 	return nil
 }
 
-// replayJournals merges per-worker journals into serial order and replays
-// them against a reference map. Writers sort before read-only transactions
-// at equal serial: a TL2 read-only transaction's ticket is its read clock,
-// which already includes the writer that advanced the clock to that value.
-func replayJournals(t *testing.T, name string, journals [][]jrTxn) map[uint64]uint64 {
+// replayJournals is the test-side wrapper over the exported oracle.
+func replayJournals(t *testing.T, name string, journals [][]JournalTxn) map[uint64]uint64 {
 	t.Helper()
-	var all []jrTxn
-	for _, j := range journals {
-		all = append(all, j...)
-	}
-	sort.SliceStable(all, func(i, k int) bool {
-		if all[i].serial != all[k].serial {
-			return all[i].serial < all[k].serial
-		}
-		return all[i].writer && !all[k].writer
-	})
-	ref := make(map[uint64]uint64)
-	for ti, rec := range all {
-		for _, r := range rec.reads {
-			rv, rok := ref[r.key]
-			if rok != r.ok || rv != r.val {
-				t.Fatalf("%s: serializability violation at commit %d (serial %d): read key %d = (%d,%v), serial replay has (%d,%v)",
-					name, ti, rec.serial, r.key, r.val, r.ok, rv, rok)
-			}
-		}
-		for _, w := range rec.writes {
-			ref[w.key] = w.val
-		}
+	ref, err := ReplayJournals(journals)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
 	}
 	return ref
 }
@@ -123,7 +86,7 @@ func replayJournals(t *testing.T, name string, journals [][]jrTxn) map[uint64]ui
 // stressWorkload runs one worker's seeded mix: updates, blind inserts,
 // two-key transfers and a periodic multi-key batch, skewed so a fifth of
 // the traffic lands on eight hot keys.
-func stressWorkload(t *testing.T, h Handle, worker, txns int, keyspace uint64, journal *[]jrTxn) {
+func stressWorkload(t *testing.T, h Handle, worker, txns int, keyspace uint64, journal *[]JournalTxn) {
 	rng := uint64(worker)*0x9e3779b97f4a7c15 + 12345
 	key := func() uint64 {
 		if testRand(&rng)%5 == 0 {
@@ -144,13 +107,13 @@ func stressWorkload(t *testing.T, h Handle, worker, txns int, keyspace uint64, j
 			// same replay invariant as a full read-only transaction
 			k := key()
 			v, ok, serial := h.Get(k)
-			*journal = append(*journal, jrTxn{serial: serial,
-				reads: []jrOp{{key: k, val: v, ok: ok}}})
+			*journal = append(*journal, JournalTxn{Serial: serial,
+				Reads: []JournalOp{{Key: k, Val: v, OK: ok}}})
 		case op < 50: // point write
 			k, v := key(), testRand(&rng)
 			serial := h.Put(k, v)
-			*journal = append(*journal, jrTxn{serial: serial, writer: true,
-				writes: []jrOp{{key: k, val: v, ok: true}}})
+			*journal = append(*journal, JournalTxn{Serial: serial, Writer: true,
+				Writes: []JournalOp{{Key: k, Val: v, OK: true}}})
 		case op < 65: // read-modify-write (upgrade path on the stm backend)
 			k := key()
 			err = journaledTxn(h, false, func(tx Tx) error {
@@ -206,7 +169,7 @@ func TestStressSerializability(t *testing.T) {
 	for _, s := range allBackends(t, 4*keyspace, workers) {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
-			journals := make([][]jrTxn, workers)
+			journals := make([][]JournalTxn, workers)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				w := w

@@ -1,0 +1,95 @@
+package loadgen_test
+
+import (
+	"net"
+	"testing"
+
+	"tokentm/stm"
+	"tokentm/stm/kvstore"
+	"tokentm/stm/loadgen"
+	"tokentm/stm/server"
+)
+
+// TestDriverModesAgree is the unit-sized version of the netbench
+// determinism gate: at workers=1 the same seeded op stream must produce
+// the same final-state checksum whether it runs through an in-process
+// handle on the unsharded store, through sharded cross-shard group
+// commits, or over a TCP round trip through the RESP codec.
+func TestDriverModesAgree(t *testing.T) {
+	for _, mix := range loadgen.Mixes {
+		mix := mix
+		t.Run(mix.Name, func(t *testing.T) {
+			cfg := loadgen.Config{
+				Mix:      mix,
+				Workers:  1,
+				Ops:      1500,
+				Keyspace: 1024,
+				Capacity: 8192,
+				Seed:     7,
+				ZipfS:    1.2,
+			}
+
+			sums := make(map[string]uint64)
+
+			store := kvstore.NewSTM(cfg.Capacity, cfg.Workers)
+			res, err := loadgen.RunDrivers(loadgen.DriverSetup{
+				Mode:     "inproc",
+				New:      func(w int) (loadgen.Driver, error) { return loadgen.NewHandleDriver(store.Handle(w)), nil },
+				Checksum: func() (uint64, error) { return kvstore.Checksum(store), nil },
+				Stats:    store.Stats,
+			}, cfg)
+			if err != nil {
+				t.Fatalf("inproc: %v", err)
+			}
+			sums["inproc"] = res.Checksum
+
+			sharded := kvstore.NewSharded(4, cfg.Capacity, cfg.Workers, stm.Options{})
+			res, err = loadgen.RunDrivers(loadgen.DriverSetup{
+				Mode:     "sharded",
+				Shards:   4,
+				New:      func(w int) (loadgen.Driver, error) { return loadgen.NewHandleDriver(sharded.Handle(w)), nil },
+				Checksum: func() (uint64, error) { return kvstore.Checksum(sharded), nil },
+				Stats:    sharded.Stats,
+			}, cfg)
+			if err != nil {
+				t.Fatalf("sharded: %v", err)
+			}
+			sums["sharded"] = res.Checksum
+
+			srv, err := server.New(server.Config{Shards: 4, Capacity: cfg.Capacity, MaxConns: cfg.Workers + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- srv.Serve(ln) }()
+			addr := ln.Addr().String()
+			res, err = loadgen.RunDrivers(loadgen.DriverSetup{
+				Mode:     "net",
+				Shards:   4,
+				New:      func(w int) (loadgen.Driver, error) { return loadgen.DialNet(addr) },
+				Close:    func(w int, d loadgen.Driver) error { return d.(*loadgen.NetDriver).Close() },
+				Checksum: func() (uint64, error) { return loadgen.NetChecksum(addr) },
+				Stats:    srv.Store().Stats,
+			}, cfg)
+			srv.Shutdown()
+			if serr := <-serveDone; serr != nil {
+				t.Fatalf("serve: %v", serr)
+			}
+			if err != nil {
+				t.Fatalf("net: %v", err)
+			}
+			sums["net"] = res.Checksum
+
+			if sums["inproc"] == 0 {
+				t.Fatal("zero checksum (empty store?)")
+			}
+			if sums["sharded"] != sums["inproc"] || sums["net"] != sums["inproc"] {
+				t.Fatalf("checksums disagree: %x", sums)
+			}
+		})
+	}
+}

@@ -76,6 +76,11 @@ type Result struct {
 	Workers int    `json:"workers"`
 	Ops     int    `json:"ops"`
 
+	// Network-benchmark identity (RunDrivers cells only).
+	Mode        string `json:"mode,omitempty"`         // inproc | sharded | net
+	Shards      int    `json:"shards,omitempty"`       // shard count when sharded
+	WireRetries uint64 `json:"wire_retries,omitempty"` // -RETRY transactions resent by clients
+
 	Commits   uint64  `json:"commits"`
 	Aborts    uint64  `json:"aborts"`
 	AbortRate float64 `json:"abort_rate"`
@@ -141,7 +146,7 @@ func Run(cfg Config) (Result, error) {
 		Commits:   st.Commits,
 		Aborts:    st.Aborts,
 		AbortRate: st.AbortRate(),
-		Checksum:  checksum(store),
+		Checksum:  kvstore.Checksum(store),
 		ElapsedNS: elapsed.Nanoseconds(),
 	}
 	if elapsed > 0 {
@@ -287,31 +292,6 @@ func percentiles(workers []*worker) (p50, p99 float64) {
 		return float64(all[i]) / 1e3
 	}
 	return pick(0.50), pick(0.99)
-}
-
-// checksum folds the store's final state into one FNV-1a word, iterating in
-// sorted key order so equal states hash equal regardless of backend.
-func checksum(store kvstore.Store) uint64 {
-	type kv struct{ k, v uint64 }
-	var all []kv
-	store.ForEach(func(k, v uint64) { all = append(all, kv{k, v}) })
-	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(x uint64) {
-		for s := 0; s < 64; s += 8 {
-			h ^= (x >> s) & 0xff
-			h *= prime
-		}
-	}
-	for _, e := range all {
-		mix(e.k)
-		mix(e.v)
-	}
-	return h
 }
 
 // splitmix is splitmix64: the value stream generator.

@@ -1,0 +1,177 @@
+package stm
+
+// Satellite contract for the Options lift: the zero Options value must
+// reproduce the package's historical constants exactly, and MaxAttempts must
+// turn an unwinnable conflict into ErrAborted with the thread reusable
+// afterwards. The conflict scenarios are white-box: one thread parks holding
+// a write token mid-attempt (the way runAttempt would between fn statements),
+// the other runs a bounded transaction against it.
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDefaultOptionsMatchHistoricalConstants pins the default policy to the
+// constants the package shipped with before the policy became tunable. If a
+// default changes, this test is the reviewable record of it.
+func TestDefaultOptionsMatchHistoricalConstants(t *testing.T) {
+	want := Options{
+		SpinLimit:        48,
+		UpgradeSpinLimit: 2,
+		BackoffShiftCap:  6,
+		SpinShiftCap:     5,
+		MaxAttempts:      0,
+	}
+	if got := DefaultOptions(); got != want {
+		t.Errorf("DefaultOptions() = %+v, want %+v", got, want)
+	}
+	if got := (Options{}).withDefaults(); got != want {
+		t.Errorf("Options{}.withDefaults() = %+v, want %+v", got, want)
+	}
+	if got := New(16, 2, 1).Options(); got != want {
+		t.Errorf("New(...).Options() = %+v, want %+v", got, want)
+	}
+	// Partial overrides keep the untouched fields at their defaults.
+	got := NewWithOptions(16, 2, 1, Options{SpinLimit: 7}).Options()
+	want.SpinLimit = 7
+	if got != want {
+		t.Errorf("partial override = %+v, want %+v", got, want)
+	}
+}
+
+// TestDefaultsReproduceTodaysBehavior runs the same deterministic workload on
+// a TM built with New and one built with explicit DefaultOptions and demands
+// identical serials, final words, and statistics — the "defaults are not a
+// silent behavior change" check.
+func TestDefaultsReproduceTodaysBehavior(t *testing.T) {
+	run := func(tm *TM) ([]uint64, Stats) {
+		th := tm.Thread(0)
+		var serials []uint64
+		for i := 0; i < 50; i++ {
+			i := i
+			s, err := th.Atomically(func(tx *Tx) error {
+				a := Addr(uint(i%8) * uint(tm.WordsPerBlock()))
+				tx.Store(a, tx.Load(a)+uint64(i))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serials = append(serials, s)
+		}
+		words := make([]uint64, tm.NumWords())
+		for a := range words {
+			words[a] = tm.LoadWord(Addr(a))
+		}
+		for a, w := range words {
+			serials = append(serials, uint64(a), w)
+		}
+		return serials, tm.Stats()
+	}
+	s1, st1 := run(New(16, 2, 2))
+	s2, st2 := run(NewWithOptions(16, 2, 2, DefaultOptions()))
+	if len(s1) != len(s2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+	if st1 != st2 {
+		t.Errorf("stats diverge:\n New:            %+v\n DefaultOptions: %+v", st1, st2)
+	}
+}
+
+func TestNegativeOptionsPanic(t *testing.T) {
+	for _, opt := range []Options{
+		{SpinLimit: -1}, {UpgradeSpinLimit: -1}, {BackoffShiftCap: -1},
+		{SpinShiftCap: -1}, {MaxAttempts: -1},
+	} {
+		opt := opt
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithOptions(%+v) did not panic", opt)
+				}
+			}()
+			NewWithOptions(16, 2, 1, opt)
+		}()
+	}
+}
+
+// parkWriter opens an attempt on th and leaves it holding block b's write
+// tokens, the way a transaction parked between two statements of fn would.
+// The returned release func aborts that attempt and re-idles the thread.
+func parkWriter(th *Thread, b uint32) (release func()) {
+	tx := &th.tx
+	th.beginAttempt(tx)
+	tx.writeAcquire(b)
+	return func() {
+		tx.abortAttempt()
+		th.status.Store(th.attempt<<statusShift | stateIdle)
+	}
+}
+
+// TestMaxAttemptsSurfacesErrAborted pins the bounded-retry surface the
+// network front end is built on: a transaction that cannot win its conflict
+// returns ErrAborted after exactly MaxAttempts attempts, every effect rolled
+// back, and the thread immediately usable for the next transaction.
+func TestMaxAttemptsSurfacesErrAborted(t *testing.T) {
+	tm := NewWithOptions(16, 2, 2, Options{SpinLimit: 2, MaxAttempts: 3})
+	release := parkWriter(tm.Thread(0), 0)
+
+	th := tm.Thread(1)
+	other := Addr(5 * tm.WordsPerBlock())
+	if _, err := th.Atomically(func(tx *Tx) error {
+		tx.Store(other, 1) // must be undone on the final abort
+		tx.Load(0)         // conflicts with the parked writer forever
+		return nil
+	}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Atomically = %v, want ErrAborted", err)
+	}
+	if got := tm.Stats().Aborts; got != 3 {
+		t.Errorf("Aborts = %d, want 3 (one per bounded attempt)", got)
+	}
+	if v := tm.LoadWord(other); v != 0 {
+		t.Errorf("word %d = %d after ErrAborted, want 0 (rolled back)", other, v)
+	}
+
+	// The thread is reusable: same Thread, disjoint block, must commit.
+	if _, err := th.Atomically(func(tx *Tx) error {
+		tx.Store(other, 7)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-abort Atomically = %v", err)
+	}
+	if v := tm.LoadWord(other); v != 7 {
+		t.Errorf("word %d = %d, want 7", other, v)
+	}
+	release()
+}
+
+// TestMaxAttemptsBoundsReadOnly covers the snapshot path: a read-only
+// transaction stuck behind a parked writer gives up with ErrAborted instead
+// of retrying forever.
+func TestMaxAttemptsBoundsReadOnly(t *testing.T) {
+	tm := NewWithOptions(16, 2, 2, Options{SpinLimit: 2, MaxAttempts: 2})
+	release := parkWriter(tm.Thread(0), 0)
+
+	th := tm.Thread(1)
+	if _, err := th.ReadOnly(func(tx *Tx) error {
+		tx.Load(0)
+		return nil
+	}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("ReadOnly = %v, want ErrAborted", err)
+	}
+	release()
+
+	// Writer gone: the same thread's next snapshot succeeds.
+	if _, err := th.ReadOnly(func(tx *Tx) error {
+		tx.Load(0)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-release ReadOnly = %v", err)
+	}
+}

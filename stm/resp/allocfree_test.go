@@ -1,0 +1,99 @@
+package resp
+
+// TestAllocFreeAnnotations cross-checks this package's //tokentm:allocfree
+// annotations at runtime, mirroring stm's table: the key set must equal the
+// annotation list the static analyzer sees (lint.AllocFreeFuncs), and each
+// entry must measure zero allocations per run once the reader/writer scratch
+// buffers have warmed — the property the server leans on for alloc-free
+// steady-state GET/SET service.
+
+import (
+	"io"
+	"slices"
+	"sort"
+	"testing"
+
+	"tokentm/internal/lint"
+)
+
+// loopReader hands out the same frame forever, so one Reader can decode an
+// unbounded command stream without the driver touching it between runs.
+type loopReader struct {
+	frame []byte
+	pos   int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.pos == len(l.frame) {
+		l.pos = 0
+	}
+	n := copy(p, l.frame[l.pos:])
+	l.pos += n
+	return n, nil
+}
+
+func TestAllocFreeAnnotations(t *testing.T) {
+	rdArray := NewReader(&loopReader{frame: []byte("*3\r\n$3\r\nSET\r\n$10\r\n1234567890\r\n$20\r\n18446744073709551615\r\n")})
+	rdInline := NewReader(&loopReader{frame: []byte("GET 1234567890\r\n")})
+	w := NewWriter(io.Discard)
+	payload := []byte("steady-state payload")
+	num := []byte("18446744073709551615")
+
+	entries := []struct {
+		name string
+		fn   func()
+	}{
+		{"Reader.ReadCommand", func() {
+			if _, err := rdArray.ReadCommand(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rdInline.ReadCommand(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Writer.WriteSimple", func() { w.WriteSimple("OK") }},
+		{"Writer.WriteErrorString", func() { w.WriteErrorString("RETRY transaction aborted") }},
+		{"Writer.WriteUint", func() { w.WriteUint(18446744073709551615) }},
+		{"Writer.WriteBulk", func() { w.WriteBulk(payload) }},
+		{"Writer.WriteBulkString", func() { w.WriteBulkString("bulk string") }},
+		{"Writer.WriteBulkUint", func() { w.WriteBulkUint(18446744073709551615) }},
+		{"Writer.WriteNull", func() { w.WriteNull() }},
+		{"Writer.WriteArrayHeader", func() { w.WriteArrayHeader(3) }},
+		{"ParseUint", func() {
+			if _, ok := ParseUint(num); !ok {
+				t.Fatal("ParseUint rejected max uint64")
+			}
+		}},
+	}
+
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	want, err := lint.AllocFreeFuncs(".")
+	if err != nil {
+		t.Fatalf("scanning annotations: %v", err)
+	}
+	if !slices.Equal(names, want) {
+		t.Fatalf("annotation/table drift:\n annotated: %v\n table:     %v", want, names)
+	}
+
+	for _, e := range entries {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				e.fn()
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if n := testing.AllocsPerRun(200, e.fn); n != 0 {
+				t.Errorf("%s allocates %.0f times per run; want 0", e.name, n)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

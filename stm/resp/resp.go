@@ -1,0 +1,548 @@
+// Package resp implements the RESP-lite wire protocol the tokentm-store
+// server speaks: a safe subset of Redis's RESP framing, restricted to what
+// the KV protocol needs and hardened against hostile input (every length is
+// bounded before any byte is buffered, so a malformed frame can error but
+// never over-allocate or panic).
+//
+// Requests are commands — an array of bulk strings (`*2\r\n$3\r\nGET\r\n...`)
+// or an inline line of space-separated tokens (`GET 17\r\n`, telnet-friendly).
+// Replies are RESP values: simple strings (+OK), errors (-RETRY ...),
+// integers (:7), bulk strings ($3\r\n...), null bulks ($-1), and arrays.
+// Keys, values, and serials travel as decimal integers in bulks; the parser
+// and encoder never interpret them beyond framing.
+//
+// The Reader's command path and the Writer's reply primitives are the
+// server's per-operation fast paths: both recycle receiver-held scratch
+// buffers, so after warm-up a GET/SET round trip allocates nothing
+// (//tokentm:allocfree, pinned by the AllocsPerRun table in
+// allocfree_test.go).
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// Framing bounds. A frame that declares more than these errors out before
+// any allocation proportional to the declared size happens.
+const (
+	// MaxArgs bounds the element count of one command array.
+	MaxArgs = 1024
+	// MaxBulk bounds the byte length of one bulk string.
+	MaxBulk = 64 << 10
+	// MaxInline bounds one inline command line (including the terminator).
+	MaxInline = 16 << 10
+	// maxReplyDepth bounds reply-array nesting (the protocol uses 2).
+	maxReplyDepth = 8
+)
+
+// Protocol errors. The server surfaces these as -ERR and closes the
+// connection; anything else from the Reader is an I/O error.
+var (
+	ErrTooManyArgs  = errors.New("resp: command array exceeds MaxArgs")
+	ErrBulkTooLarge = errors.New("resp: bulk length exceeds MaxBulk")
+	ErrLineTooLong  = errors.New("resp: line exceeds MaxInline")
+	ErrBadFrame     = errors.New("resp: malformed frame")
+	ErrEmptyCommand = errors.New("resp: empty command array")
+	ErrDepth        = errors.New("resp: reply nesting exceeds limit")
+)
+
+// IsProtocol reports whether err is a framing violation (as opposed to an
+// I/O failure): the peer sent bytes that can never parse, so the connection
+// is unrecoverable but a final error reply is still worth sending.
+func IsProtocol(err error) bool {
+	return errors.Is(err, ErrTooManyArgs) || errors.Is(err, ErrBulkTooLarge) ||
+		errors.Is(err, ErrLineTooLong) || errors.Is(err, ErrBadFrame) ||
+		errors.Is(err, ErrEmptyCommand) || errors.Is(err, ErrDepth)
+}
+
+// Reader decodes commands and replies from a stream. Not safe for
+// concurrent use.
+type Reader struct {
+	br *bufio.Reader
+
+	// Command scratch, reused across ReadCommand calls: token bytes land in
+	// buf, offs records [start,end) pairs, args is rebuilt over buf last
+	// (appending to buf can move it, so slices are cut only once it is
+	// final). All three reach steady-state capacity and stop growing.
+	buf  []byte
+	offs []int
+	args [][]byte
+}
+
+// NewReader wraps r with the default buffer size.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// Buffered reports bytes already read from the stream but not yet consumed —
+// nonzero means a pipelined command is waiting and the reply batch should
+// not flush yet.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// ReadCommand reads one command and returns its tokens (verb first). The
+// returned slices alias the Reader's scratch and are valid only until the
+// next ReadCommand. Blank inline lines are skipped. On a malformed frame it
+// returns a protocol error (see IsProtocol); a stream that ends mid-frame
+// returns io.ErrUnexpectedEOF.
+//
+//tokentm:allocfree
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch b {
+		case '\r', '\n', ' ', '\t':
+			continue // stray separators between frames
+		case '*':
+			return r.readArrayCommand()
+		default:
+			args, err := r.readInlineCommand(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue
+			}
+			return args, nil
+		}
+	}
+}
+
+// readArrayCommand parses `<N>\r\n` then N `$len\r\n<bytes>\r\n` bulks (the
+// leading '*' is already consumed).
+func (r *Reader) readArrayCommand() ([][]byte, error) {
+	n, err := r.readLength()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, ErrEmptyCommand
+	}
+	if n > MaxArgs {
+		return nil, ErrTooManyArgs
+	}
+	r.buf = r.buf[:0]
+	r.offs = r.offs[:0]
+	for i := int64(0); i < n; i++ {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if b != '$' {
+			return nil, ErrBadFrame
+		}
+		l, err := r.readLength()
+		if err != nil {
+			return nil, err
+		}
+		if l < 0 {
+			return nil, ErrBadFrame // null bulks have no place in a command
+		}
+		if l > MaxBulk {
+			return nil, ErrBulkTooLarge
+		}
+		start := len(r.buf)
+		for j := int64(0); j < l; j++ {
+			b, err := r.br.ReadByte()
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			r.buf = append(r.buf, b)
+		}
+		if err := r.expectCRLF(); err != nil {
+			return nil, err
+		}
+		r.offs = append(r.offs, start, len(r.buf))
+	}
+	r.args = r.args[:0]
+	for i := 0; i < len(r.offs); i += 2 {
+		r.args = append(r.args, r.buf[r.offs[i]:r.offs[i+1]])
+	}
+	return r.args, nil
+}
+
+// readInlineCommand parses the rest of a space-separated line; first is the
+// line's already-consumed first byte.
+func (r *Reader) readInlineCommand(first byte) ([][]byte, error) {
+	r.buf = r.buf[:0]
+	r.buf = append(r.buf, first)
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if b == '\n' {
+			break
+		}
+		if len(r.buf) >= MaxInline {
+			return nil, ErrLineTooLong
+		}
+		r.buf = append(r.buf, b)
+	}
+	if n := len(r.buf); n > 0 && r.buf[n-1] == '\r' {
+		r.buf = r.buf[:n-1]
+	}
+	// Tokenize in place: a bare '\r' inside the line is a framing error (a
+	// frame boundary can never appear mid-token).
+	r.offs = r.offs[:0]
+	start := -1
+	for i, b := range r.buf {
+		switch b {
+		case ' ', '\t':
+			if start >= 0 {
+				r.offs = append(r.offs, start, i)
+				start = -1
+			}
+		case '\r':
+			return nil, ErrBadFrame
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		r.offs = append(r.offs, start, len(r.buf))
+	}
+	if len(r.offs)/2 > MaxArgs {
+		return nil, ErrTooManyArgs
+	}
+	r.args = r.args[:0]
+	for i := 0; i < len(r.offs); i += 2 {
+		r.args = append(r.args, r.buf[r.offs[i]:r.offs[i+1]])
+	}
+	return r.args, nil
+}
+
+// readLength parses a signed decimal terminated by CRLF, for array and bulk
+// headers. At most 20 digits are accepted, so the value fits int64 with the
+// overflow check below.
+func (r *Reader) readLength() (int64, error) {
+	var (
+		n     int64
+		neg   bool
+		first = true
+		seen  = false
+	)
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return 0, unexpectedEOF(err)
+		}
+		switch {
+		case b == '\r':
+			if !seen {
+				return 0, ErrBadFrame
+			}
+			b2, err := r.br.ReadByte()
+			if err != nil {
+				return 0, unexpectedEOF(err)
+			}
+			if b2 != '\n' {
+				return 0, ErrBadFrame
+			}
+			if neg {
+				n = -n
+			}
+			return n, nil
+		case b == '-' && first:
+			neg = true
+		case b >= '0' && b <= '9':
+			if n > (1<<62)/10 {
+				return 0, ErrBadFrame // would overflow; no real frame is this long
+			}
+			n = n*10 + int64(b-'0')
+			seen = true
+		default:
+			return 0, ErrBadFrame
+		}
+		first = false
+	}
+}
+
+// expectCRLF consumes the terminator after a bulk body.
+func (r *Reader) expectCRLF() error {
+	b1, err := r.br.ReadByte()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	b2, err := r.br.ReadByte()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if b1 != '\r' || b2 != '\n' {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// unexpectedEOF maps a clean EOF mid-frame to io.ErrUnexpectedEOF (the
+// stream ended inside a frame) and passes every other error through.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Reply is one decoded RESP reply value (client side). Arrays allocate;
+// the client path does not need the server's zero-allocation discipline.
+type Reply struct {
+	Type  byte   // '+', '-', ':', '$', '*'
+	Str   string // simple/error/bulk contents
+	Null  bool   // null bulk ($-1)
+	Int   int64
+	Elems []Reply
+}
+
+// ReadReply decodes one reply value.
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReply(0)
+}
+
+func (r *Reader) readReply(depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, ErrDepth
+	}
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch t {
+	case '+', '-':
+		line, err := r.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Type: t, Str: string(line)}, nil
+	case ':':
+		n, err := r.readLength()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Type: t, Int: n}, nil
+	case '$':
+		l, err := r.readLength()
+		if err != nil {
+			return Reply{}, err
+		}
+		if l == -1 {
+			return Reply{Type: t, Null: true}, nil
+		}
+		if l < 0 || l > MaxBulk {
+			return Reply{}, ErrBulkTooLarge
+		}
+		body := make([]byte, l)
+		if _, err := io.ReadFull(r.br, body); err != nil {
+			return Reply{}, unexpectedEOF(err)
+		}
+		if err := r.expectCRLF(); err != nil {
+			return Reply{}, err
+		}
+		return Reply{Type: t, Str: string(body)}, nil
+	case '*':
+		n, err := r.readLength()
+		if err != nil {
+			return Reply{}, err
+		}
+		if n < 0 || n > MaxArgs {
+			return Reply{}, ErrTooManyArgs
+		}
+		rep := Reply{Type: t, Elems: make([]Reply, 0, n)}
+		for i := int64(0); i < n; i++ {
+			e, err := r.readReply(depth + 1)
+			if err != nil {
+				return Reply{}, err
+			}
+			rep.Elems = append(rep.Elems, e)
+		}
+		return rep, nil
+	default:
+		return Reply{}, ErrBadFrame
+	}
+}
+
+// readLine reads up to CRLF (strict) with the inline bound.
+func (r *Reader) readLine() ([]byte, error) {
+	r.buf = r.buf[:0]
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if b == '\n' {
+			break
+		}
+		if len(r.buf) >= MaxInline {
+			return nil, ErrLineTooLong
+		}
+		r.buf = append(r.buf, b)
+	}
+	if n := len(r.buf); n > 0 && r.buf[n-1] == '\r' {
+		return r.buf[:n-1], nil
+	}
+	return nil, ErrBadFrame
+}
+
+// Writer encodes RESP frames onto a buffered stream. Not safe for concurrent
+// use. Nothing reaches the wire until Flush.
+type Writer struct {
+	bw  *bufio.Writer
+	num [24]byte // decimal scratch for integer rendering
+}
+
+// NewWriter wraps w with the default buffer size.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 4096)}
+}
+
+// Flush writes the buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteSimple emits +s.
+//
+//tokentm:allocfree
+func (w *Writer) WriteSimple(s string) error {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteErrorString emits -s. s must not contain CR or LF.
+//
+//tokentm:allocfree
+func (w *Writer) WriteErrorString(s string) error {
+	w.bw.WriteByte('-')
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteUint emits :v.
+//
+//tokentm:allocfree
+func (w *Writer) WriteUint(v uint64) error {
+	w.bw.WriteByte(':')
+	w.bw.Write(strconv.AppendUint(w.num[:0], v, 10))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulk emits $len\r\nb.
+//
+//tokentm:allocfree
+func (w *Writer) WriteBulk(b []byte) error {
+	w.bw.WriteByte('$')
+	w.bw.Write(strconv.AppendInt(w.num[:0], int64(len(b)), 10))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulkString is WriteBulk for string payloads (INFO text).
+//
+//tokentm:allocfree
+func (w *Writer) WriteBulkString(s string) error {
+	w.bw.WriteByte('$')
+	w.bw.Write(strconv.AppendInt(w.num[:0], int64(len(s)), 10))
+	w.bw.WriteString("\r\n")
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulkUint emits the decimal rendering of v as a bulk string — the
+// value format of the KV protocol.
+//
+//tokentm:allocfree
+func (w *Writer) WriteBulkUint(v uint64) error {
+	d := strconv.AppendUint(w.num[:0], v, 10)
+	w.bw.WriteByte('$')
+	// One digit of length is enough: 0 <= len(d) <= 20.
+	if len(d) >= 10 {
+		w.bw.WriteByte(byte('0' + len(d)/10))
+	}
+	w.bw.WriteByte(byte('0' + len(d)%10))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(d)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteNull emits the null bulk $-1 (absent value).
+//
+//tokentm:allocfree
+func (w *Writer) WriteNull() error {
+	_, err := w.bw.WriteString("$-1\r\n")
+	return err
+}
+
+// WriteArrayHeader emits *n; the caller writes the n elements after it.
+//
+//tokentm:allocfree
+func (w *Writer) WriteArrayHeader(n int) error {
+	w.bw.WriteByte('*')
+	w.bw.Write(strconv.AppendInt(w.num[:0], int64(n), 10))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteCommandArgs encodes one command in array form — the client-side
+// encoder, and the canonical form the fuzz round-trip re-parses.
+func (w *Writer) WriteCommandArgs(args [][]byte) error {
+	if err := w.WriteArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommand encodes a command given as strings (tests, interactive use).
+func (w *Writer) WriteCommand(args ...string) error {
+	if err := w.WriteArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulkString(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseUint parses a decimal token (a key, value, or count argument).
+// Rejects empty tokens, non-digits, leading-zero padding beyond "0", and
+// overflow — a strict inverse of WriteBulkUint so values round-trip exactly.
+//
+//tokentm:allocfree
+func ParseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	if b[0] == '0' && len(b) > 1 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}

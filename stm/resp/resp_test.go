@@ -1,0 +1,289 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func parseAll(t *testing.T, in string) [][]string {
+	t.Helper()
+	r := NewReader(strings.NewReader(in))
+	var out [][]string
+	for {
+		args, err := r.ReadCommand()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("ReadCommand(%q): %v", in, err)
+		}
+		cp := make([]string, len(args))
+		for i, a := range args {
+			cp[i] = string(a)
+		}
+		out = append(out, cp)
+	}
+}
+
+func TestReadCommandForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"PING\r\n", [][]string{{"PING"}}},
+		{"GET 17\r\n", [][]string{{"GET", "17"}}},
+		{"SET  1   2\r\n", [][]string{{"SET", "1", "2"}}},            // runs of spaces collapse
+		{"GET 1\nGET 2\r\n", [][]string{{"GET", "1"}, {"GET", "2"}}}, // bare LF accepted inline
+		{"\r\n\r\nPING\r\n", [][]string{{"PING"}}},                   // blank lines skipped
+		{"*1\r\n$4\r\nPING\r\n", [][]string{{"PING"}}},               // array form
+		{"*3\r\n$3\r\nSET\r\n$1\r\n7\r\n$2\r\n42\r\n", [][]string{{"SET", "7", "42"}}},
+		{"*2\r\n$3\r\nGET\r\n$0\r\n\r\n", [][]string{{"GET", ""}}},                          // empty bulk is legal framing
+		{"GET 1\r\n*2\r\n$3\r\nGET\r\n$1\r\n2\r\n", [][]string{{"GET", "1"}, {"GET", "2"}}}, // mixed pipeline
+	}
+	for _, c := range cases {
+		if got := parseAll(t, c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parse %q = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReadCommandErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"*0\r\n", ErrEmptyCommand},
+		{"*-1\r\n", ErrEmptyCommand},
+		{"*99999\r\n", ErrTooManyArgs},
+		{"*1\r\n$99999999\r\n", ErrBulkTooLarge},
+		{"*1\r\n$-1\r\n", ErrBadFrame},          // null bulk in a command
+		{"*1\r\n#3\r\nfoo\r\n", ErrBadFrame},    // not a bulk header
+		{"*1\r\n$3\r\nfoobar\r\n", ErrBadFrame}, // body longer than declared
+		{"*x\r\n", ErrBadFrame},
+		{"*1\r\n$x\r\n", ErrBadFrame},
+		{"*\r\n", ErrBadFrame},        // no digits
+		{"GET 1\rX\r\n", ErrBadFrame}, // bare CR inside an inline line
+		{"*1\r\n$3\r\nGET", io.ErrUnexpectedEOF},
+		{"*2\r\n$3\r\nGET\r\n", io.ErrUnexpectedEOF},
+		{"*1\r\n", io.ErrUnexpectedEOF},
+		{"GET 1", io.ErrUnexpectedEOF},                // inline without terminator
+		{"*99999999999999999999999\r\n", ErrBadFrame}, // length overflow
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c.in))
+		_, err := r.ReadCommand()
+		if !errors.Is(err, c.want) {
+			t.Errorf("ReadCommand(%q) err = %v, want %v", c.in, err, c.want)
+		}
+		if c.want != io.ErrUnexpectedEOF && !IsProtocol(err) {
+			t.Errorf("ReadCommand(%q): %v not classified as protocol error", c.in, err)
+		}
+	}
+}
+
+func TestInlineTooLong(t *testing.T) {
+	r := NewReader(strings.NewReader("GET " + strings.Repeat("9", MaxInline) + "\r\n"))
+	if _, err := r.ReadCommand(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestWriteReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("OK")
+	w.WriteErrorString("RETRY transaction aborted")
+	w.WriteUint(12345)
+	w.WriteBulk([]byte("hello"))
+	w.WriteBulkUint(18446744073709551615)
+	w.WriteBulkUint(0)
+	w.WriteNull()
+	w.WriteArrayHeader(2)
+	w.WriteUint(1)
+	w.WriteArrayHeader(1)
+	w.WriteBulkString("nested")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	want := []Reply{
+		{Type: '+', Str: "OK"},
+		{Type: '-', Str: "RETRY transaction aborted"},
+		{Type: ':', Int: 12345},
+		{Type: '$', Str: "hello"},
+		{Type: '$', Str: "18446744073709551615"},
+		{Type: '$', Str: "0"},
+		{Type: '$', Null: true},
+		{Type: '*', Elems: []Reply{
+			{Type: ':', Int: 1},
+			{Type: '*', Elems: []Reply{{Type: '$', Str: "nested"}}},
+		}},
+	}
+	for i, exp := range want {
+		got, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("reply %d = %+v, want %+v", i, got, exp)
+		}
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("trailing ReadReply err = %v, want EOF", err)
+	}
+}
+
+func TestReplyDepthBound(t *testing.T) {
+	in := strings.Repeat("*1\r\n", maxReplyDepth+2) + ":1\r\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.ReadReply(); !errors.Is(err, ErrDepth) {
+		t.Fatalf("err = %v, want ErrDepth", err)
+	}
+}
+
+func TestParseUint(t *testing.T) {
+	good := map[string]uint64{
+		"0": 0, "7": 7, "42": 42, "18446744073709551615": ^uint64(0),
+	}
+	for s, want := range good {
+		if got, ok := ParseUint([]byte(s)); !ok || got != want {
+			t.Errorf("ParseUint(%q) = (%d,%v), want (%d,true)", s, got, ok, want)
+		}
+	}
+	for _, s := range []string{"", "-1", "1x", "007", "18446744073709551616", "999999999999999999999"} {
+		if _, ok := ParseUint([]byte(s)); ok {
+			t.Errorf("ParseUint(%q) accepted", s)
+		}
+	}
+}
+
+func TestWriteBulkUintMatchesWriteBulk(t *testing.T) {
+	// WriteBulkUint's hand-rolled length header must agree with the general
+	// encoder for every digit-count boundary.
+	vals := []uint64{0, 9, 10, 99, 100, 1<<32 - 1, 1 << 32, ^uint64(0)}
+	for _, v := range vals {
+		var a, b bytes.Buffer
+		wa, wb := NewWriter(&a), NewWriter(&b)
+		wa.WriteBulkUint(v)
+		var num [24]byte
+		wb.WriteBulk(appendUintForTest(num[:0], v))
+		wa.Flush()
+		wb.Flush()
+		if a.String() != b.String() {
+			t.Errorf("WriteBulkUint(%d) = %q, WriteBulk = %q", v, a.String(), b.String())
+		}
+	}
+}
+
+func appendUintForTest(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// FuzzRESPRoundTrip: any input either fails to parse (with an error, never a
+// panic, never an arg past the bounds) or parses to a command that survives
+// encode→parse→encode byte-identically. Seeded with the frames the protocol
+// actually exchanges plus the truncation/oversize/embedded-CRLF corpus the
+// satellite calls out.
+func FuzzRESPRoundTrip(f *testing.F) {
+	seeds := []string{
+		"PING\r\n",
+		"GET 17\r\n",
+		"SET 1 2\r\n",
+		"MGET 1 2 3\r\n",
+		"MULTI\r\nSET 1 2\r\nEXEC\r\n",
+		"*1\r\n$4\r\nPING\r\n",
+		"*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n",
+		"*2\r\n$3\r\nGET\r\n$20\r\n18446744073709551615\r\n",
+		// Truncated frames.
+		"*2\r\n$3\r\nGET",
+		"*1\r\n$3\r\nGE",
+		"*3\r\n$3\r\nSET\r\n",
+		"GET 1",
+		"*1\r\n",
+		"$",
+		"*",
+		// Oversized declarations.
+		"*1\r\n$9999999999\r\nx\r\n",
+		"*2147483647\r\n",
+		"*1\r\n$-9223372036854775808\r\n",
+		"*99999999999999999999999999\r\n",
+		// Embedded CR/LF and other separator abuse.
+		"GET 1\rX\r\n",
+		"GET\r1\r\n",
+		"*1\r\n$4\r\nGE\r\n\r\n",
+		"*1\r\n$2\r\n\r\n\r\n",
+		"\r\n\n\n  \r\nPING\r\n",
+		"*1\n$4\nPING\n",
+		"*1\r\n$0\r\n\r\n",
+		"*0\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := NewReader(bytes.NewReader(in))
+		args, err := r.ReadCommand()
+		if err != nil {
+			return // rejected is fine; panics/hangs are the bug class
+		}
+		if len(args) == 0 || len(args) > MaxArgs {
+			t.Fatalf("accepted command with %d args", len(args))
+		}
+		for _, a := range args {
+			if len(a) > MaxBulk {
+				t.Fatalf("accepted %d-byte arg past MaxBulk", len(a))
+			}
+		}
+
+		// Canonical encode, re-parse, re-encode: fixed point after one hop.
+		var enc1 bytes.Buffer
+		w := NewWriter(&enc1)
+		if err := w.WriteCommandArgs(args); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// args aliases the reader's scratch; copy before reusing readers.
+		orig := make([][]byte, len(args))
+		for i, a := range args {
+			orig[i] = append([]byte(nil), a...)
+		}
+
+		r2 := NewReader(bytes.NewReader(enc1.Bytes()))
+		args2, err := r2.ReadCommand()
+		if err != nil {
+			t.Fatalf("re-parse of canonical encoding %q: %v", enc1.Bytes(), err)
+		}
+		if len(args2) != len(orig) {
+			t.Fatalf("round trip changed arg count: %d -> %d", len(orig), len(args2))
+		}
+		for i := range orig {
+			if !bytes.Equal(orig[i], args2[i]) {
+				t.Fatalf("round trip changed arg %d: %q -> %q", i, orig[i], args2[i])
+			}
+		}
+		var enc2 bytes.Buffer
+		w2 := NewWriter(&enc2)
+		w2.WriteCommandArgs(args2)
+		w2.Flush()
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("canonical encoding not a fixed point: %q vs %q", enc1.Bytes(), enc2.Bytes())
+		}
+	})
+}

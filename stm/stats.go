@@ -1,8 +1,10 @@
 package stm
 
-// Stats counts per-thread transaction outcomes and conflict events. Fields
-// are plain counters written only by the owning goroutine; read them through
-// TM.Stats (quiescent) or after the worker has joined.
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of transaction outcomes and conflict
+// events, summed across threads by TM.Stats. It is a plain value: copy and
+// compare freely.
 type Stats struct {
 	Commits uint64 // committed transactions
 	Aborts  uint64 // aborted attempts (each retried attempt counts once)
@@ -15,7 +17,7 @@ type Stats struct {
 	ConflictReader uint64 // write acquisitions lost to outstanding readers
 	ConflictAnon   uint64 // conflicts with anonymous (unidentifiable) holders
 
-	ConflictAborts uint64 // attempts abandoned after spinLimit rounds
+	ConflictAborts uint64 // attempts abandoned after SpinLimit rounds
 	DoomedAborts   uint64 // attempts abandoned because an elder doomed us
 	Dooms          uint64 // younger enemies we doomed (eldest tiebreak)
 
@@ -23,21 +25,55 @@ type Stats struct {
 	SnapshotRetries uint64 // snapshot attempts retried on a stale read serial
 }
 
-// add accumulates o into s.
-func (s *Stats) add(o *Stats) {
-	s.Commits += o.Commits
-	s.Aborts += o.Aborts
-	s.Upgrades += o.Upgrades
-	s.FastReleases += o.FastReleases
-	s.SlowReleases += o.SlowReleases
-	s.ConflictWriter += o.ConflictWriter
-	s.ConflictReader += o.ConflictReader
-	s.ConflictAnon += o.ConflictAnon
-	s.ConflictAborts += o.ConflictAborts
-	s.DoomedAborts += o.DoomedAborts
-	s.Dooms += o.Dooms
-	s.SnapshotCommits += o.SnapshotCommits
-	s.SnapshotRetries += o.SnapshotRetries
+// counters is the live per-thread statistics block. Each field has exactly
+// one writer — the owning goroutine — and is stored atomically so observers
+// (TM.Stats, the server's INFO command) can read a consistent-enough
+// snapshot at any time without a detector-level race. The single-writer
+// increment is a plain load + plain store pair on amd64 (no LOCK prefix),
+// so the hot paths pay nothing for the observability.
+type counters struct {
+	Commits atomic.Uint64
+	Aborts  atomic.Uint64
+
+	Upgrades     atomic.Uint64
+	FastReleases atomic.Uint64
+	SlowReleases atomic.Uint64
+
+	ConflictWriter atomic.Uint64
+	ConflictReader atomic.Uint64
+	ConflictAnon   atomic.Uint64
+
+	ConflictAborts atomic.Uint64
+	DoomedAborts   atomic.Uint64
+	Dooms          atomic.Uint64
+
+	SnapshotCommits atomic.Uint64
+	SnapshotRetries atomic.Uint64
+}
+
+// bump increments a single-writer counter. Only the counter's owning
+// goroutine may call it.
+//
+//tokentm:allocfree
+func bump(c *atomic.Uint64) { c.Store(c.Load() + 1) }
+
+// addTo accumulates an atomic snapshot of c into s. Counters are read
+// individually; a snapshot taken while transactions run is per-field exact
+// but not cross-field consistent (quiesce for exact books).
+func (c *counters) addTo(s *Stats) {
+	s.Commits += c.Commits.Load()
+	s.Aborts += c.Aborts.Load()
+	s.Upgrades += c.Upgrades.Load()
+	s.FastReleases += c.FastReleases.Load()
+	s.SlowReleases += c.SlowReleases.Load()
+	s.ConflictWriter += c.ConflictWriter.Load()
+	s.ConflictReader += c.ConflictReader.Load()
+	s.ConflictAnon += c.ConflictAnon.Load()
+	s.ConflictAborts += c.ConflictAborts.Load()
+	s.DoomedAborts += c.DoomedAborts.Load()
+	s.Dooms += c.Dooms.Load()
+	s.SnapshotCommits += c.SnapshotCommits.Load()
+	s.SnapshotRetries += c.SnapshotRetries.Load()
 }
 
 // AbortRate returns aborted attempts per executed attempt.

@@ -81,14 +81,22 @@ type TM struct {
 	births atomic.Uint64 // birth-ticket source (eldest tiebreak)
 	serial atomic.Uint64 // commit serial clock; doubles as the snapshot read clock
 
+	opt Options // resolved contention policy (never zero-valued fields)
+
 	threads []Thread // descriptor slots, indexed by TID-1
 }
 
 // New builds a TM with numBlocks blocks of wordsPerBlock 64-bit words each
 // (wordsPerBlock must be a power of two — the conflict-detection granularity,
 // the host analog of the paper's 64-byte block), supporting up to maxThreads
-// concurrent transactional threads.
+// concurrent transactional threads, under the default contention policy.
 func New(numBlocks, wordsPerBlock, maxThreads int) *TM {
+	return NewWithOptions(numBlocks, wordsPerBlock, maxThreads, Options{})
+}
+
+// NewWithOptions is New with an explicit contention policy; zero Options
+// fields resolve to their defaults (see Options).
+func NewWithOptions(numBlocks, wordsPerBlock, maxThreads int, opt Options) *TM {
 	if wordsPerBlock <= 0 || wordsPerBlock&(wordsPerBlock-1) != 0 {
 		panic(fmt.Sprintf("stm: wordsPerBlock %d is not a power of two", wordsPerBlock))
 	}
@@ -103,6 +111,7 @@ func New(numBlocks, wordsPerBlock, maxThreads int) *TM {
 		numBlocks: uint32(numBlocks),
 		words:     make([]atomic.Uint64, numBlocks*wordsPerBlock),
 		meta:      make([]atomic.Uint64, numBlocks),
+		opt:       opt.withDefaults(),
 		threads:   make([]Thread, maxThreads),
 	}
 	for i := range tm.threads {
@@ -125,6 +134,14 @@ func (tm *TM) NumWords() int { return len(tm.words) }
 
 // metaw returns block b's packed token word.
 func (tm *TM) metaw(b uint32) *atomic.Uint64 { return &tm.meta[b] }
+
+// Options returns the TM's resolved contention policy.
+func (tm *TM) Options() Options { return tm.opt }
+
+// SerialClock returns the current value of the commit serial clock — the
+// serial of the most recent commit (0 before any). Safe to call at any time;
+// a network front end reports it per shard as the observability surface.
+func (tm *TM) SerialClock() uint64 { return tm.serial.Load() }
 
 // nextSerial draws the next commit serial, failing loudly (typed
 // *metastate.StampOverflowError panic) as the 48-bit writer-release stamp
@@ -173,11 +190,13 @@ func (tm *TM) LoadWord(a Addr) uint64 { return tm.dataw(a).Load() }
 // quiescence contract as LoadWord.
 func (tm *TM) StoreWord(a Addr, v uint64) { tm.dataw(a).Store(v) }
 
-// Stats sums per-thread statistics. Quiescent-only: call after workers join.
+// Stats sums per-thread statistics. Counters are single-writer atomics, so
+// calling this while workers run is race-free and per-field exact; only a
+// quiescent call (after workers join) is cross-field consistent.
 func (tm *TM) Stats() Stats {
 	var s Stats
 	for i := range tm.threads {
-		s.add(&tm.threads[i].stats)
+		tm.threads[i].stats.addTo(&s)
 	}
 	return s
 }
@@ -212,7 +231,7 @@ type Thread struct {
 
 	rng   uint64 // splitmix64 state for backoff jitter
 	tx    Tx
-	stats Stats
+	stats counters
 }
 
 // mark-table encoding: mark[b] = attempt<<markShift | bits.
@@ -236,7 +255,9 @@ type retrySignal struct{}
 // returned. On commit, Atomically returns a serial number: a total order of
 // commits consistent with transactional conflicts (the ticket is drawn while
 // every read and write token is still held, so it is a true serialization
-// point).
+// point). With Options.MaxAttempts set, a transaction that conflicts away
+// that many attempts stops retrying and returns ErrAborted, fully rolled
+// back.
 func (th *Thread) Atomically(fn func(tx *Tx) error) (serial uint64, err error) {
 	if th.mark == nil {
 		panic("stm: Thread not obtained via TM.Thread")
@@ -251,6 +272,12 @@ func (th *Thread) Atomically(fn func(tx *Tx) error) (serial uint64, err error) {
 		serial, err, again := th.runAttempt(tx, fn)
 		if !again {
 			return serial, err
+		}
+		if ma := th.tm.opt.MaxAttempts; ma > 0 && retries+1 >= ma {
+			// The aborted attempt already rolled back and released; only
+			// the status word still says active.
+			th.status.Store(th.attempt<<statusShift | stateIdle)
+			return 0, ErrAborted
 		}
 		th.backoff(retries)
 	}
@@ -283,7 +310,10 @@ func (th *Thread) ReadOnly(fn func(tx *Tx) error) (serial uint64, err error) {
 		if !again {
 			return serial, err
 		}
-		th.stats.SnapshotRetries++
+		bump(&th.stats.SnapshotRetries)
+		if ma := th.tm.opt.MaxAttempts; ma > 0 && retries+1 >= ma {
+			return 0, ErrAborted
+		}
 		th.backoff(retries)
 	}
 }
@@ -306,8 +336,8 @@ func (th *Thread) runROAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, er
 	if err = fn(tx); err != nil {
 		return 0, err, false
 	}
-	th.stats.Commits++
-	th.stats.SnapshotCommits++
+	bump(&th.stats.Commits)
+	bump(&th.stats.SnapshotCommits)
 	return tx.rv, nil, false
 }
 
@@ -316,6 +346,7 @@ func (th *Thread) runROAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, er
 func (th *Thread) beginAttempt(tx *Tx) {
 	th.attempt++
 	th.status.Store(th.attempt<<statusShift | stateActive)
+	tx.finished = false
 	tx.logs.reset()
 }
 
@@ -349,8 +380,8 @@ func (th *Thread) runAttempt(tx *Tx, fn func(tx *Tx) error) (serial uint64, err 
 //tokentm:backoff
 func (th *Thread) backoff(retries int) {
 	shift := retries
-	if shift > 6 {
-		shift = 6
+	if cap := th.tm.opt.BackoffShiftCap; shift > cap {
+		shift = cap
 	}
 	n := uint64(1) << shift
 	n += nextRand(&th.rng) & (n - 1)
@@ -389,7 +420,7 @@ func (th *Thread) maybeDoom(enemy mem.TID) {
 		return // enemy is elder (or ourselves): back off instead
 	}
 	if es.status.CompareAndSwap(s, s&^uint64(stateMask)|stateDoomed) {
-		th.stats.Dooms++
+		bump(&th.stats.Dooms)
 	}
 }
 

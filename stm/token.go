@@ -3,6 +3,7 @@ package stm
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"tokentm/internal/mem"
 	"tokentm/internal/metastate"
@@ -21,10 +22,14 @@ import (
 // Tx is one transaction attempt's view of a TM. Obtain it inside
 // Thread.Atomically or Thread.ReadOnly; it is invalid outside fn.
 type Tx struct {
-	th   *Thread
-	ro   bool   // snapshot mode: no tokens, loads validated against rv
-	rv   uint64 // snapshot read serial (ro mode only)
-	logs txLogs
+	th *Thread
+	ro bool // snapshot mode: no tokens, loads validated against rv
+	// finished marks an attempt whose tokens are already returned (committed
+	// or aborted); Group recovery consults it so a member whose own retry()
+	// already rolled back is not double-aborted.
+	finished bool
+	rv       uint64 // snapshot read serial (ro mode only)
+	logs     txLogs
 }
 
 // Load returns the word at a. In token mode it acquires a read token for
@@ -109,11 +114,11 @@ func (tx *Tx) loadRO2(a1, a2 Addr) (uint64, uint64) {
 	for spin := 0; ; spin++ {
 		w1 := metastate.PackedWord(w.Load())
 		if w1.Packed().State() == metastate.StateWriteT {
-			th.stats.ConflictWriter++
-			if spin >= spinLimit {
+			bump(&th.stats.ConflictWriter)
+			if spin >= th.tm.opt.SpinLimit {
 				panic(retrySignal{})
 			}
-			spinWait(spin, &th.rng)
+			spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 			continue
 		}
 		if w1.Stamp() > tx.rv {
@@ -176,7 +181,7 @@ func (tx *Tx) writeAcquire(b uint32) {
 		tx.acquireWrite(b, true)
 		th.mark[b] = th.attempt<<markShift | markRead | markWrite
 		tx.logs.appendWrite(b)
-		th.stats.Upgrades++
+		bump(&th.stats.Upgrades)
 	default:
 		tx.acquireWrite(b, false)
 		th.mark[b] = th.attempt<<markShift | markWrite
@@ -207,8 +212,8 @@ func (tx *Tx) Stable(a Addr) uint64 {
 	for spin := 0; ; spin++ {
 		w1 := metastate.PackedWord(w.Load())
 		if w1.Packed().State() == metastate.StateWriteT {
-			th.stats.ConflictWriter++
-			if spin >= spinLimit {
+			bump(&th.stats.ConflictWriter)
+			if spin >= th.tm.opt.SpinLimit {
 				// Requester-side resolution, as in acquireRead: give up so
 				// any token we hold cannot deadlock against the writer.
 				if tx.ro {
@@ -216,7 +221,7 @@ func (tx *Tx) Stable(a Addr) uint64 {
 				}
 				tx.retry(&th.stats.ConflictAborts)
 			}
-			spinWait(spin, &th.rng)
+			spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 			continue
 		}
 		v := th.tm.dataw(a).Load()
@@ -268,8 +273,8 @@ func (th *Thread) snapshot2Slow(a1, a2 Addr) (v1, v2, serial uint64) {
 			if mem.TID(p.Attr()) == th.tid {
 				panic(fmt.Sprintf("stm: Snapshot2 of block %d inside thread %d's own write transaction", b, th.tid))
 			}
-			th.stats.ConflictWriter++
-			spinWait(spin, &th.rng)
+			bump(&th.stats.ConflictWriter)
+			spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 			continue
 		}
 		v1 = tm.dataw(a1).Load()
@@ -286,8 +291,8 @@ func (th *Thread) snapshot2Slow(a1, a2 Addr) (v1, v2, serial uint64) {
 //
 //tokentm:allocfree
 func (th *Thread) NoteCommit() {
-	th.stats.Commits++
-	th.stats.SnapshotCommits++
+	bump(&th.stats.Commits)
+	bump(&th.stats.SnapshotCommits)
 }
 
 // Upsert2 is the point-write fast path: a complete single-block
@@ -327,8 +332,8 @@ func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint
 		switch p.State() {
 		case metastate.StateAnon:
 			if uint32(p.Attr()) != 0 {
-				th.stats.ConflictReader++
-				spinWait(spin, &th.rng)
+				bump(&th.stats.ConflictReader)
+				spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 				continue
 			}
 		case metastate.StateRead1, metastate.StateWriteT:
@@ -336,15 +341,15 @@ func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint
 				panic(fmt.Sprintf("stm: Upsert2 of block %d inside thread %d's own transaction", b, th.tid))
 			}
 			if p.State() == metastate.StateWriteT {
-				th.stats.ConflictWriter++
+				bump(&th.stats.ConflictWriter)
 			} else {
-				th.stats.ConflictReader++
+				bump(&th.stats.ConflictReader)
 			}
-			spinWait(spin, &th.rng)
+			spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 			continue
 		case metastate.StateOverflow:
-			th.stats.ConflictAnon++
-			spinWait(spin, &th.rng)
+			bump(&th.stats.ConflictAnon)
+			spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 			continue
 		}
 		np, _ := metastate.Pack(metastate.WriteT(th.tid))
@@ -366,20 +371,15 @@ func (th *Thread) Upsert2(a1, a2 Addr, k1, v2 uint64) (claimed bool, serial uint
 		tm.dataw(a2).Store(v2)
 		serial = tm.nextSerial()
 		w.Store(uint64(metastate.MakeWord(metastate.PackedZero, serial)))
-		th.stats.Commits++
+		bump(&th.stats.Commits)
 		return true, serial
 	}
 }
 
-// spinLimit bounds how many CAS/conflict rounds one acquisition tries before
-// the attempt gives up and aborts (requester-side resolution).
-// upgradeSpinLimit is the much tighter bound for a read-to-write upgrade
-// blocked by other readers: the upgrader holds a token the others may be
-// waiting on, so it must stop blocking them quickly (see acquireWrite).
-const (
-	spinLimit        = 48
-	upgradeSpinLimit = 2
-)
+// The spin bounds (how many CAS/conflict rounds one acquisition tries before
+// the attempt gives up; the much tighter bound for a blocked read-to-write
+// upgrade) live in the TM's Options — see Options.SpinLimit and
+// Options.UpgradeSpinLimit for the policy rationale.
 
 // acquireRead takes one token on block b: (0,-) -> (1,self); a second reader
 // fuses the identified reader into the anonymous count (1,X) -> (2,-);
@@ -458,7 +458,7 @@ func (tx *Tx) acquireWrite(b uint32, haveRead bool) {
 				// token held starves everyone, so give up almost at once —
 				// the abort returns our token and the attempt-level backoff
 				// serializes the herd.
-				if haveRead && spin >= upgradeSpinLimit {
+				if haveRead && spin >= th.tm.opt.UpgradeSpinLimit {
 					tx.retry(&th.stats.ConflictAborts)
 				}
 				tx.conflict(mem.NoTID, &th.stats.ConflictReader, spin)
@@ -495,17 +495,17 @@ func (tx *Tx) acquireWrite(b uint32, haveRead bool) {
 // after spinLimit rounds, otherwise yield briefly and re-examine.
 //
 //tokentm:backoff
-func (tx *Tx) conflict(enemy mem.TID, counter *uint64, spin int) {
+func (tx *Tx) conflict(enemy mem.TID, counter *atomic.Uint64, spin int) {
 	th := tx.th
-	*counter++
-	if spin >= spinLimit {
+	bump(counter)
+	if spin >= th.tm.opt.SpinLimit {
 		tx.retry(&th.stats.ConflictAborts)
 	}
 	th.ensureBirth()
 	if enemy != mem.NoTID {
 		th.maybeDoom(enemy)
 	}
-	spinWait(spin, &th.rng)
+	spinWait(spin, th.tm.opt.SpinShiftCap, &th.rng)
 }
 
 // retry aborts the attempt (undo + release) and unwinds to Atomically.
@@ -513,8 +513,8 @@ func (tx *Tx) conflict(enemy mem.TID, counter *uint64, spin int) {
 // retry-loop hygiene rule the same way a direct panic does.
 //
 //tokentm:backoff
-func (tx *Tx) retry(counter *uint64) {
-	*counter++
+func (tx *Tx) retry(counter *atomic.Uint64) {
+	bump(counter)
 	tx.abortAttempt()
 	panic(retrySignal{})
 }
@@ -535,7 +535,8 @@ func (tx *Tx) commitAttempt() uint64 {
 	}
 	serial := th.tm.nextSerial()
 	tx.releaseAll(serial)
-	th.stats.Commits++
+	tx.finished = true
+	bump(&th.stats.Commits)
 	return serial
 }
 
@@ -557,7 +558,8 @@ func (tx *Tx) abortAttempt() {
 		stamp = th.tm.nextSerial()
 	}
 	tx.releaseAll(stamp)
-	th.stats.Aborts++
+	tx.finished = true
+	bump(&th.stats.Aborts)
 }
 
 // releaseAll returns every token this attempt holds. Write blocks release
@@ -582,9 +584,9 @@ func (tx *Tx) releaseAll(stamp uint64) {
 		th.releaseRead(b)
 	}
 	if tx.logs.inline() {
-		th.stats.FastReleases++
+		bump(&th.stats.FastReleases)
 	} else {
-		th.stats.SlowReleases++
+		bump(&th.stats.SlowReleases)
 	}
 }
 
@@ -638,15 +640,15 @@ func (th *Thread) releaseRead(b uint32) {
 	}
 }
 
-// spinWait delays one acquisition round: exponential in the round number
-// with jitter, implemented as scheduler yields so the holder runs even at
-// GOMAXPROCS=1.
+// spinWait delays one acquisition round: exponential in the round number,
+// capped at shiftCap (Options.SpinShiftCap), with jitter, implemented as
+// scheduler yields so the holder runs even at GOMAXPROCS=1.
 //
 //tokentm:backoff
 //tokentm:allocfree
-func spinWait(spin int, rng *uint64) {
-	if spin > 5 {
-		spin = 5
+func spinWait(spin, shiftCap int, rng *uint64) {
+	if spin > shiftCap {
+		spin = shiftCap
 	}
 	n := uint64(1)<<spin + nextRand(rng)&3
 	for i := uint64(0); i < n; i++ {
